@@ -1,0 +1,38 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every binary regenerates one table or figure of the paper and prints
+// model/measured values next to the paper's published values, flagging
+// the relative deviation. EXPERIMENTS.md collects the resulting output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "lqcd/base/table.h"
+
+namespace lqcd::bench {
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref,
+                         const std::string& notes = "") {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  if (!notes.empty()) std::printf("%s\n", notes.c_str());
+  std::printf("================================================================\n\n");
+}
+
+/// "ours (paper, +x%)" cell formatting.
+inline std::string vs_paper(double ours, double paper, int precision = 1) {
+  char buf[96];
+  if (paper == 0) {
+    std::snprintf(buf, sizeof buf, "%.*f", precision, ours);
+  } else {
+    const double pct = 100.0 * (ours - paper) / paper;
+    std::snprintf(buf, sizeof buf, "%.*f (%.*f, %+0.0f%%)", precision, ours,
+                  precision, paper, pct);
+  }
+  return buf;
+}
+
+}  // namespace lqcd::bench

@@ -1,0 +1,108 @@
+// Regenerates paper Fig. 6: strong-scaling curves of the DD and non-DD
+// solvers for the three production lattices. Values are "relative speed"
+// normalized to the smallest time-to-solution of the non-DD solver, as in
+// the paper.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "paper_specs.h"
+
+using namespace lqcd;
+using namespace lqcd::cluster;
+
+namespace {
+
+void print_lattice(const ClusterSim& sim, const DDSolveSpec& dd,
+                   const NonDDSolveSpec& nd, const std::vector<int>& dd_nodes,
+                   const std::vector<int>& nd_nodes, const char* title,
+                   double paper_peak_speedup) {
+  std::printf("---- %s ----\n", title);
+
+  std::vector<std::pair<int, double>> dd_times, nd_times;
+  for (const int n : dd_nodes) {
+    const auto part = NodePartition::choose(dd.lattice, n, dd.block);
+    dd_times.emplace_back(n, sim.simulate_dd(dd, part).total_seconds);
+  }
+  for (const int n : nd_nodes) {
+    const auto part = NodePartition::choose(nd.lattice, n, {2, 2, 2, 2});
+    nd_times.emplace_back(n, sim.simulate_nondd(nd, part).total_seconds);
+  }
+  double nd_best = 1e300;
+  for (const auto& [n, t] : nd_times) nd_best = std::min(nd_best, t);
+
+  Table t({"KNCs", "DD time[s]", "DD rel.speed", "non-DD time[s]",
+           "non-DD rel.speed"});
+  const std::size_t rows = std::max(dd_times.size(), nd_times.size());
+  double dd_best_speed = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    t.row();
+    if (i < dd_times.size()) {
+      t.cell(dd_times[i].first)
+          .cell(dd_times[i].second, 2)
+          .cell(nd_best / dd_times[i].second, 2);
+      dd_best_speed = std::max(dd_best_speed, nd_best / dd_times[i].second);
+    } else {
+      t.cell("").cell("").cell("");
+    }
+    if (i < nd_times.size()) {
+      t.cell(nd_times[i].second, 2).cell(nd_best / nd_times[i].second, 2);
+    } else {
+      t.cell("").cell("");
+    }
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf(
+      "  peak DD relative speed: %.1fx the best non-DD time-to-solution "
+      "(paper Fig. 6: ~%.0fx)\n\n",
+      dd_best_speed, paper_peak_speedup);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 6 — multi-node strong scaling: relative speed of DD vs non-DD",
+      "Heybrock et al., SC14, Fig. 6",
+      "relative speed := (best non-DD time) / time; paper headline: the "
+      "DD solver\nscales to more nodes and is up to ~5x faster in the "
+      "strong-scaling limit");
+
+  ClusterSim sim;
+
+  print_lattice(sim, bench::dd_32cubed(), bench::nondd_32cubed(),
+                {8, 16, 32, 64}, {8, 16, 32, 64},
+                "32^3x64 (m_pi = 290 MeV; iteration counts estimated)",
+                4.0);
+  print_lattice(sim, bench::dd_48cubed(), bench::nondd_48cubed(),
+                {24, 32, 64, 128}, {12, 24, 36, 72, 144},
+                "48^3x64 (m_pi = 150 MeV; Table III counts)", 5.0);
+  print_lattice(sim, bench::dd_64cubed(), bench::nondd_64cubed(),
+                {64, 128, 256, 512, 1024}, {64, 128, 256},
+                "64^3x128 (SU(3)-symmetric point; Table III counts)", 4.5);
+
+  // The preliminary non-uniform-partitioning points of Fig. 6.
+  {
+    const auto dd = bench::dd_64cubed();
+    const auto nd_best =
+        sim.simulate_nondd(bench::nondd_64cubed(),
+                           NodePartition::choose({64, 64, 64, 128}, 256,
+                                                 {2, 2, 2, 2}))
+            .total_seconds;
+    Table t({"KNCs", "partitioning", "time[s]", "rel.speed"});
+    const auto r320 = sim.simulate_dd(
+        dd, NodePartition::nonuniform_t(dd.lattice, {4, 4, 4},
+                                        {28, 28, 28, 28, 16}));
+    const auto r640 = sim.simulate_dd(
+        dd, NodePartition::nonuniform_t(dd.lattice, {4, 4, 8},
+                                        {28, 28, 28, 28, 16}));
+    t.row().cell(320).cell("t=4x28+16").cell(r320.total_seconds, 2).cell(
+        nd_best / r320.total_seconds, 2);
+    t.row().cell(640).cell("t=4x28+16").cell(r640.total_seconds, 2).cell(
+        nd_best / r640.total_seconds, 2);
+    std::printf("---- 64^3x128, DD, non-uniform partitioning ----\n%s\n",
+                t.str().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Regenerates paper Fig. 7: cost of a complete solve in KNC-minutes
+// (nodes x wall-time / 60) — the relevant metric for the "data analysis"
+// use case, where solves parallelize trivially and one wants minimum
+// cost, i.e. few nodes.
+//
+// Paper headline: on few nodes the DD solve costs about HALF as much as
+// the non-DD solve.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "paper_specs.h"
+
+using namespace lqcd;
+using namespace lqcd::cluster;
+
+namespace {
+
+void print_lattice(const ClusterSim& sim, const DDSolveSpec& dd,
+                   const NonDDSolveSpec& nd,
+                   const std::vector<int>& dd_nodes,
+                   const std::vector<int>& nd_nodes, const char* title) {
+  std::printf("---- %s ----\n", title);
+  Table t({"KNCs", "DD cost[KNC-min]", "non-DD cost[KNC-min]"});
+  double dd_min = 1e300, nd_min = 1e300;
+  const std::size_t rows = std::max(dd_nodes.size(), nd_nodes.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    t.row();
+    if (i < dd_nodes.size()) {
+      const int n = dd_nodes[i];
+      const auto r =
+          sim.simulate_dd(dd, NodePartition::choose(dd.lattice, n, dd.block));
+      const double cost = n * r.total_seconds / 60.0;
+      dd_min = std::min(dd_min, cost);
+      t.cell(n).cell(cost, 2);
+    } else {
+      t.cell("").cell("");
+    }
+    if (i < nd_nodes.size()) {
+      const int n = nd_nodes[i];
+      const auto r = sim.simulate_nondd(
+          nd, NodePartition::choose(nd.lattice, n, {2, 2, 2, 2}));
+      const double cost = n * r.total_seconds / 60.0;
+      nd_min = std::min(nd_min, cost);
+      t.cell(cost, 2);
+    } else {
+      t.cell("");
+    }
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf(
+      "  minimum cost: DD %.1f KNC-min vs non-DD %.1f KNC-min -> DD costs "
+      "%.2fx (paper: ~0.5x)\n\n",
+      dd_min, nd_min, dd_min / nd_min);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 7 — KNC-minutes consumed for a complete solve",
+                      "Heybrock et al., SC14, Fig. 7",
+                      "cost = #KNCs x wall-time / 60; minimize by running "
+                      "on as few nodes as memory allows");
+
+  ClusterSim sim;
+  print_lattice(sim, bench::dd_32cubed(), bench::nondd_32cubed(),
+                {8, 16, 32, 64}, {8, 16, 32, 64}, "32^3x64");
+  print_lattice(sim, bench::dd_48cubed(), bench::nondd_48cubed(),
+                {24, 32, 64, 128}, {12, 16, 24, 32, 36, 72, 128},
+                "48^3x64");
+  print_lattice(sim, bench::dd_64cubed(), bench::nondd_64cubed(),
+                {64, 128, 256, 512, 1024}, {64, 128, 256}, "64^3x128");
+  return 0;
+}

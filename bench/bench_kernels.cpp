@@ -1,0 +1,212 @@
+// google-benchmark microbenchmarks of the numerical kernels on the host
+// CPU. These measure OUR portable implementation (not the KNC — see the
+// machine model for the paper's hardware numbers); they are the
+// engineering substrate for optimizing the library itself and for
+// verifying that per-site flop counts scale as expected.
+#include "lqcd/core/dd_solver.h"
+#include "lqcd/linalg/fp16.h"
+#include "lqcd/schwarz/schwarz.h"
+#include "lqcd/knc/work_model.h"
+#include "lqcd/tile/tiled_dslash.h"
+
+#if defined(LQCD_HAVE_GBENCH)
+#include <benchmark/benchmark.h>
+
+namespace lqcd {
+namespace {
+
+struct Setup {
+  Geometry geom{{8, 8, 8, 8}};
+  Checkerboard cb{geom};
+  GaugeField<float> gauge;
+  WilsonCloverOperator<float> op;
+  DomainPartition part{geom, {4, 4, 4, 4}};
+
+  Setup()
+      : gauge(convert<float>(random_gauge_field<double>(geom, 0.6, 1))),
+        op(geom, cb, gauge, 0.1f, 1.0f) {
+    op.prepare_schur();
+  }
+};
+
+Setup& setup() {
+  static Setup s;
+  return s;
+}
+
+void BM_Dslash(benchmark::State& state) {
+  auto& s = setup();
+  FermionField<float> in(s.geom.volume()), out(s.geom.volume());
+  gaussian(in, 2);
+  for (auto _ : state) {
+    s.op.apply_dslash(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * s.geom.volume() * 1344,
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_Dslash);
+
+void BM_WilsonClover(benchmark::State& state) {
+  auto& s = setup();
+  FermionField<float> in(s.geom.volume()), out(s.geom.volume());
+  gaussian(in, 3);
+  for (auto _ : state) {
+    s.op.apply(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * s.geom.volume() * 1848,
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_WilsonClover);
+
+void BM_SchurOperator(benchmark::State& state) {
+  auto& s = setup();
+  FermionField<float> in(s.cb.half_volume()), out(s.cb.half_volume());
+  gaussian(in, 4);
+  for (auto _ : state) {
+    s.op.apply_schur(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SchurOperator);
+
+void BM_SU3MatVec(benchmark::State& state) {
+  Rng rng(5);
+  const auto u = random_su3<float>(rng, 1.0);
+  ColorVector<float> x;
+  for (int c = 0; c < 3; ++c)
+    x.c[c] = Complex<float>(static_cast<float>(rng.gaussian()),
+                            static_cast<float>(rng.gaussian()));
+  for (auto _ : state) {
+    x = mul(u, x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_SU3MatVec);
+
+void BM_CloverBlockApply(benchmark::State& state) {
+  Rng rng(6);
+  PackedHermitian6<float> b;
+  for (auto& d : b.diag) d = static_cast<float>(rng.gaussian() + 5);
+  for (auto& z : b.offd)
+    z = Complex<float>(static_cast<float>(rng.gaussian()),
+                       static_cast<float>(rng.gaussian()));
+  Complex<float> x[6], y[6];
+  for (auto& v : x)
+    v = Complex<float>(static_cast<float>(rng.gaussian()),
+                       static_cast<float>(rng.gaussian()));
+  for (auto _ : state) {
+    b.apply(x, y);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_CloverBlockApply);
+
+void BM_BlasDot(benchmark::State& state) {
+  FermionField<float> x(4096), y(4096);
+  gaussian(x, 7);
+  gaussian(y, 8);
+  for (auto _ : state) {
+    auto d = dot(x, y);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(state.iterations() * 2 * x.bytes());
+}
+BENCHMARK(BM_BlasDot);
+
+void BM_BlasAxpy(benchmark::State& state) {
+  FermionField<float> x(4096), y(4096);
+  gaussian(x, 9);
+  gaussian(y, 10);
+  for (auto _ : state) {
+    axpy(1.0001f, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 3 * x.bytes());
+}
+BENCHMARK(BM_BlasAxpy);
+
+void BM_Fp16RoundTrip(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<float> src(8192), back(8192);
+  std::vector<Half> mid(8192);
+  for (auto& v : src) v = static_cast<float>(rng.gaussian());
+  for (auto _ : state) {
+    float_to_half(src.data(), mid.data(), 8192);
+    half_to_float(mid.data(), back.data(), 8192);
+    benchmark::DoNotOptimize(back.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 8192 * 4);
+}
+BENCHMARK(BM_Fp16RoundTrip);
+
+void BM_SchwarzSweep(benchmark::State& state) {
+  auto& s = setup();
+  SchwarzParams p;
+  p.schwarz_iterations = 1;
+  p.block_mr_iterations = 5;
+  static SchwarzPreconditioner<Half> m(s.part, s.op, p);
+  FermionField<float> rhs(s.geom.volume()), u(s.geom.volume());
+  gaussian(rhs, 12);
+  for (auto _ : state) {
+    m.apply(rhs, u);
+    benchmark::DoNotOptimize(u.data());
+  }
+  state.counters["Gflop/s"] = benchmark::Counter(
+      static_cast<double>(m.stats().flops), benchmark::Counter::kIsRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_SchwarzSweep);
+
+void BM_TiledBlockDslash(benchmark::State& state) {
+  // The site-fused SOA kernel on one 8x4^3 block (the paper's Fig. 2
+  // layout): compare against BM_Dslash's site-local layout to see the
+  // host compiler's vectorization benefit.
+  const Coord block{8, 4, 4, 4};
+  const std::int64_t vol = 8LL * 4 * 4 * 4;
+  static TiledGauge tg = [] {
+    TiledGauge g(Coord{8, 4, 4, 4});
+    Rng rng(3);
+    static std::vector<SU3<float>> links(
+        static_cast<std::size_t>(8 * 4 * 4 * 4) * kNumDims);
+    for (auto& u : links) u = random_su3<float>(rng, 0.8);
+    g.pack([&](std::int32_t lex, int mu) -> const SU3<float>& {
+      return links[static_cast<std::size_t>(lex) * kNumDims +
+                   static_cast<std::size_t>(mu)];
+    });
+    return g;
+  }();
+  TiledField in(block), out(block);
+  FermionField<float> f(vol);
+  gaussian(f, 4);
+  in.pack(f);
+  for (auto _ : state) {
+    tiled_block_dslash(block, tg, in, out);
+    benchmark::DoNotOptimize(out.component(0, 0, 0));
+  }
+  // Interior-hop flop count of the Dirichlet block (168 per hop).
+  const double hops = 2.0 * knc::block_hops_per_parity(block);
+  state.counters["Gflop/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * hops * 168.0,
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_TiledBlockDslash);
+
+}  // namespace
+}  // namespace lqcd
+
+BENCHMARK_MAIN();
+
+#else  // !LQCD_HAVE_GBENCH
+
+#include <cstdio>
+int main() {
+  std::printf("google-benchmark not found at configure time; kernel "
+              "microbenchmarks disabled.\n");
+  return 0;
+}
+
+#endif

@@ -1,0 +1,80 @@
+// Regenerates paper Table II: single-core Gflop/s of the MR iteration and
+// of the full DD method, for single/half-precision matrix storage and the
+// three software-prefetch configurations.
+//
+// The flop and byte counts are computed exactly from the 8x4^3 domain
+// geometry (knc/work_model.h, asserted against the instrumented
+// implementation by the test suite); the cycle costs come from the KNC
+// machine model of knc/kernel_model.h.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "lqcd/knc/work_model.h"
+
+using namespace lqcd;
+
+int main() {
+  bench::print_header(
+      "Table II — single-core performance in Gflop/s",
+      "Heybrock et al., SC14, Table II (8x4^3 domain, Idomain = 5)",
+      "format: model (paper, deviation)");
+
+  const knc::KernelModel model;
+  const Coord block{8, 4, 4, 4};
+
+  struct Row {
+    const char* label;
+    knc::PrefetchMode mode;
+    // paper values: MR single, MR half, DD single, DD half
+    double paper[4];
+  };
+  const Row rows[] = {
+      {"no software prefetching", knc::PrefetchMode::kNone,
+       {5.4, 7.9, 4.1, 5.9}},
+      {"L1 prefetches", knc::PrefetchMode::kL1, {9.2, 11.8, 5.8, 7.7}},
+      {"L1+L2 prefetches", knc::PrefetchMode::kL1L2, {9.1, 11.8, 6.3, 8.4}},
+  };
+
+  Table t({"prefetching", "MR single", "MR half", "DD single", "DD half"});
+  for (const auto& row : rows) {
+    t.row().cell(row.label);
+    int col = 0;
+    for (const char* kernel : {"mr", "dd"}) {
+      for (bool half : {false, true}) {
+        double g;
+        if (kernel[0] == 'm') {
+          g = model.gflops_per_core(knc::mr_iteration_work(block, half),
+                                    row.mode);
+        } else {
+          g = model.gflops_per_core(
+              knc::block_solve_work(block, 5, half).kernel, row.mode);
+        }
+        t.cell(bench::vs_paper(g, row.paper[col++]));
+      }
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  std::printf(
+      "Machine-model derivation (paper Sec. IV-B1):\n"
+      "  compute efficiency  = 0.82 * 0.93 * 0.54 / (1 - 0.59*0.46) = "
+      "%.0f%%  (paper: 56%%)\n"
+      "  instruction bound   = (16+16) * eff = %.1f flop/cycle/core  "
+      "(paper: 18)\n"
+      "  single-core bound   = %.1f Gflop/s  (paper: 20)\n",
+      100.0 * model.spec().compute_efficiency(),
+      model.spec().effective_sp_flops_per_cycle(),
+      model.spec().sp_gflops_bound_per_core());
+
+  const auto w_single = knc::block_solve_work(block, 5, false);
+  const auto w_half = knc::block_solve_work(block, 5, true);
+  std::printf(
+      "\nWorking set per 8x4^3 domain (paper Sec. III-B):\n"
+      "  links+clover single: %.0f kB  (paper: 288 kB)\n"
+      "  links+clover half:   %.0f kB  (paper: 144 kB)\n"
+      "  7 spinors on the half lattice: %d kB (paper: 168 kB)\n"
+      "  total single-precision working set: %d kB < 512 kB L2\n",
+      w_single.matrix_bytes / 1024.0, w_half.matrix_bytes / 1024.0,
+      7 * 24, 456);
+  return 0;
+}

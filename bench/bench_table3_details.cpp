@@ -1,0 +1,177 @@
+// Regenerates paper Table III: strong-scaling details of the DD and
+// non-DD solvers — per-phase time shares, per-phase rates, aggregate
+// Tflop/s, time-to-solution, global sums, and communicated data per KNC.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "paper_specs.h"
+
+using namespace lqcd;
+using namespace lqcd::cluster;
+
+namespace {
+
+struct PaperDDRow {
+  int nodes;
+  double load_pct, pct_a, pct_m, pct_gs, pct_other;
+  double g_a, g_m, g_gs, g_other;
+  double tflops_m, tflops_total, time_s;
+  long long gsums, comm_mb;
+};
+
+void print_dd_block(const ClusterSim& sim, const DDSolveSpec& spec,
+                    const std::vector<PaperDDRow>& rows,
+                    const char* title) {
+  std::printf("---- %s ----\n", title);
+  Table t({"KNCs", "ndom", "load%", "A%", "M%", "GS%", "oth%", "G/KNC:A",
+           "G/KNC:M", "Tfl M", "Tfl tot", "time[s]", "#gsums",
+           "comm/KNC[MB]"});
+  for (const auto& row : rows) {
+    const auto part =
+        NodePartition::choose(spec.lattice, row.nodes, spec.block);
+    const auto r = sim.simulate_dd(spec, part);
+    t.row()
+        .cell(row.nodes)
+        .cell(r.ndomain_per_color)
+        .cell(bench::vs_paper(100 * r.load, row.load_pct, 0))
+        .cell(bench::vs_paper(r.pct(r.a), row.pct_a, 1))
+        .cell(bench::vs_paper(r.pct(r.m), row.pct_m, 1))
+        .cell(bench::vs_paper(r.pct(r.gs), row.pct_gs, 1))
+        .cell(bench::vs_paper(r.pct(r.other), row.pct_other, 1))
+        .cell(bench::vs_paper(r.a.gflops_per_node(), row.g_a, 0))
+        .cell(bench::vs_paper(r.m.gflops_per_node(), row.g_m, 0))
+        .cell(bench::vs_paper(r.tflops_m, row.tflops_m, 1))
+        .cell(bench::vs_paper(r.tflops_total, row.tflops_total, 1))
+        .cell(bench::vs_paper(r.total_seconds, row.time_s, 2))
+        .cell(static_cast<long long>(r.global_sums))
+        .cell(bench::vs_paper(r.comm_mb_per_node,
+                              static_cast<double>(row.comm_mb), 0));
+  }
+  std::printf("%s\n", t.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table III — strong-scaling details",
+      "Heybrock et al., SC14, Table III",
+      "format: model (paper, deviation); A=Wilson-Clover, M=Schwarz DD, "
+      "GS=Gram-Schmidt");
+
+  ClusterSim sim;
+
+  print_dd_block(
+      sim, bench::dd_48cubed(),
+      {{24, 96, 4.3, 85.8, 7.8, 2.1, 66, 299, 56, 143, 7.0, 6.3, 35.4, 423,
+        15593},
+       {32, 90, 4.0, 86.5, 7.3, 2.2, 67, 276, 55, 127, 8.6, 7.8, 28.6, 423,
+        13156},
+       {64, 90, 4.5, 85.9, 6.8, 2.7, 52, 250, 53, 92, 15.6, 14.0, 15.9, 423,
+        8040},
+       {128, 90, 5.3, 83.4, 7.0, 4.4, 35, 199, 40, 42, 24.9, 21.6, 10.3, 423,
+        5116}},
+      "48^3x64, DD (m=16, k=6, ISchwarz=16, Idomain=5, 198 iterations)");
+
+  print_dd_block(
+      sim, bench::dd_64cubed(),
+      {{64, 95, 4.7, 89.4, 3.5, 2.3, 64, 300, 29, 24, 18.8, 17.1, 3.34, 27,
+        488},
+       {128, 85, 4.4, 90.0, 4.0, 1.5, 50, 221, 19, 27, 27.6, 25.3, 2.30, 27,
+        293},
+       {256, 71, 4.5, 90.2, 3.8, 1.5, 45, 204, 19, 26, 51.0, 46.8, 1.22, 27,
+        171},
+       {512, 53, 3.9, 91.1, 3.6, 1.4, 35, 135, 13, 18, 67.5, 62.7, 0.91, 27,
+        98},
+       {1024, 53, 5.9, 86.7, 4.5, 2.8, 16, 100, 7, 6, 100.0, 88.4, 0.65, 27,
+        61}},
+      "64^3x128, DD (m=5, k=0, ISchwarz=16, Idomain=5, 10 iterations)");
+
+  // Non-uniform t-partitioning rows (marked * in the paper).
+  {
+    std::printf(
+        "---- 64^3x128, DD, non-uniform partitioning (paper rows *320, "
+        "*640) ----\n");
+    Table t({"KNCs", "load%", "time[s]", "note"});
+    const auto spec = bench::dd_64cubed();
+    ClusterSim sim2;
+    {
+      const auto part = NodePartition::nonuniform_t(
+          spec.lattice, {4, 4, 4}, {28, 28, 28, 28, 16});
+      const auto r = sim2.simulate_dd(spec, part);
+      t.row()
+          .cell(320)
+          .cell(bench::vs_paper(100 * r.load, 85, 0))
+          .cell(bench::vs_paper(r.total_seconds, 0.95, 2))
+          .cell("t = 4x28+16, xyz grid 4x4x4");
+    }
+    {
+      const auto part = NodePartition::nonuniform_t(
+          spec.lattice, {4, 4, 8}, {28, 28, 28, 28, 16});
+      const auto r = sim2.simulate_dd(spec, part);
+      t.row()
+          .cell(640)
+          .cell(bench::vs_paper(100 * r.load, 85, 0))
+          .cell(bench::vs_paper(r.total_seconds, 0.70, 2))
+          .cell("t = 4x28+16, xyz grid 4x4x8");
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+
+  // Non-DD blocks.
+  {
+    std::printf(
+        "---- 48^3x64, non-DD: double-precision BiCGstab (~4650 "
+        "iterations) ----\n");
+    Table t({"KNCs", "G/KNC (solver)", "Tfl tot", "time[s]", "#gsums",
+             "comm/KNC[MB]"});
+    struct Row {
+      int nodes;
+      double g, tfl, time;
+      long long gsums, comm;
+    };
+    const Row rows[] = {{12, 70, 0.82, 168.5, 23907, 188272},
+                        {24, 58, 1.36, 101.4, 23887, 115556},
+                        {36, 50, 1.77, 78.4, 24012, 91848},
+                        {72, 35, 2.46, 55.9, 23802, 48200},
+                        {144, 19, 2.66, 51.4, 23642, 26598}};
+    const auto spec = bench::nondd_48cubed();
+    for (const auto& row : rows) {
+      const auto part =
+          NodePartition::choose(spec.lattice, row.nodes, {2, 2, 2, 2});
+      const auto r = sim.simulate_nondd(spec, part);
+      t.row()
+          .cell(row.nodes)
+          .cell(bench::vs_paper(r.a.gflops_per_node(), row.g, 0))
+          .cell(bench::vs_paper(r.tflops_total, row.tfl, 2))
+          .cell(bench::vs_paper(r.total_seconds, row.time, 1))
+          .cell(static_cast<long long>(r.global_sums))
+          .cell(bench::vs_paper(r.comm_mb_per_node,
+                                static_cast<double>(row.comm), 0));
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+  {
+    std::printf(
+        "---- 64^3x128, non-DD: mixed-precision Richardson + BiCGstab "
+        "----\n");
+    Table t({"KNCs", "G/KNC (solver)", "time[s]"});
+    struct Row {
+      int nodes;
+      double g, time;
+    };
+    const Row rows[] = {{64, 101, 6.1}, {128, 94, 3.2}, {256, 56, 2.9}};
+    const auto spec = bench::nondd_64cubed();
+    for (const auto& row : rows) {
+      const auto part =
+          NodePartition::choose(spec.lattice, row.nodes, {2, 2, 2, 2});
+      const auto r = sim.simulate_nondd(spec, part);
+      t.row()
+          .cell(row.nodes)
+          .cell(bench::vs_paper(r.a.gflops_per_node(), row.g, 0))
+          .cell(bench::vs_paper(r.total_seconds, row.time, 2));
+    }
+    std::printf("%s\n", t.str().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// The solver configurations and iteration counts of the paper's
+// evaluation (Sec. IV-C), shared by the Table III / Fig. 6 / Fig. 7
+// benchmark binaries.
+//
+// Iteration counts: the 48^3x64 DD count (198) and global sums (423) and
+// the 64^3x128 DD count (10) are printed in Table III. The non-DD
+// iteration counts are derived from the same table's published totals
+// (time x aggregate rate / flops-per-iteration): ~4650 double-BiCGstab
+// iterations for 48^3x64 (consistent with the 23907 global sums at ~5 per
+// iteration), ~260 inner iterations for the 64^3x128 mixed-precision
+// solver. The 32^3x64 counts are not published; we use estimates
+// consistent with its lighter pion mass (290 MeV vs 150 MeV) and mark
+// them as such. Strong-scaling *shapes* do not depend on these absolute
+// counts (they scale both curves together).
+#pragma once
+
+#include "lqcd/cluster/cluster_sim.h"
+
+namespace lqcd::bench {
+
+inline cluster::DDSolveSpec dd_32cubed() {
+  cluster::DDSolveSpec s;
+  s.lattice = {32, 32, 32, 64};
+  s.block = {8, 4, 4, 4};
+  s.basis_size = 8;       // paper: maximum basis size 8
+  s.deflation_size = 4;   // paper: 4 deflation vectors
+  s.ischwarz = 16;
+  s.idomain = 4;          // paper: 4 or 5
+  s.outer_iterations = 160;  // estimated (not published)
+  s.global_sum_events = 342;
+  return s;
+}
+
+inline cluster::DDSolveSpec dd_48cubed() {
+  cluster::DDSolveSpec s;
+  s.lattice = {48, 48, 48, 64};
+  s.block = {8, 4, 4, 4};
+  s.basis_size = 16;      // paper: m = 16
+  s.deflation_size = 6;   // paper: k = 6
+  s.ischwarz = 16;
+  s.idomain = 5;
+  s.outer_iterations = 198;   // Table III
+  s.global_sum_events = 423;  // Table III
+  return s;
+}
+
+inline cluster::DDSolveSpec dd_64cubed() {
+  cluster::DDSolveSpec s;
+  s.lattice = {64, 64, 64, 128};
+  s.block = {8, 4, 4, 4};
+  s.basis_size = 5;       // paper: maximum basis size 5
+  s.deflation_size = 0;   // paper: 0 deflation vectors
+  s.ischwarz = 16;
+  s.idomain = 5;
+  s.outer_iterations = 10;   // Table III
+  s.global_sum_events = 27;  // Table III
+  s.half_precision_boundaries = true;  // see EXPERIMENTS.md
+  return s;
+}
+
+inline cluster::NonDDSolveSpec nondd_32cubed() {
+  cluster::NonDDSolveSpec s;
+  s.lattice = {32, 32, 32, 64};
+  s.iterations = 2600;  // estimated (lighter pion mass than 48^3)
+  s.global_sum_events = 13000;
+  return s;
+}
+
+inline cluster::NonDDSolveSpec nondd_48cubed() {
+  cluster::NonDDSolveSpec s;
+  s.lattice = {48, 48, 48, 64};
+  s.iterations = 4650;          // derived from Table III totals
+  s.global_sum_events = 23907;  // Table III
+  return s;
+}
+
+inline cluster::NonDDSolveSpec nondd_64cubed() {
+  cluster::NonDDSolveSpec s;
+  s.lattice = {64, 64, 64, 128};
+  s.iterations = 260;  // derived from Table III totals (inner iterations)
+  s.mixed_precision = true;
+  s.global_sum_events = 1408;  // Table III
+  return s;
+}
+
+}  // namespace lqcd::bench

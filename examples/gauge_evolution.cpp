@@ -1,0 +1,77 @@
+// Gauge evolution — the paper's "data generation" use case (Sec. IV-C1):
+// a Markov chain of gauge configurations with one linear solve per
+// configuration. Building the chain is inherently serial, which is why
+// the strong-scaling limit of the solver matters (Fig. 6).
+//
+// This example runs a small quenched Metropolis chain, solves a system on
+// every stored configuration with the DD solver, and shows how the
+// iteration count and the plaquette evolve along the chain.
+#include <cstdio>
+
+#include "lqcd/base/timer.h"
+#include "lqcd/core/dd_solver.h"
+#include "lqcd/gauge/monte_carlo.h"
+
+using namespace lqcd;
+
+int main() {
+  const Geometry geom({8, 8, 8, 8});
+  const double beta = 5.7, mass = -0.30, csw = 1.0;
+  const int thermalization_sweeps = 30;
+  const int configurations = 5;
+  const int sweeps_between = 5;
+
+  std::printf(
+      "quenched Metropolis chain: beta = %.1f, 8^4 lattice\n"
+      "thermalizing %d sweeps, then %d configurations (%d sweeps apart)\n\n",
+      beta, thermalization_sweeps, configurations, sweeps_between);
+
+  GaugeField<double> u(geom);
+  Rng rng(20260704);
+  MetropolisParams mp;
+  mp.beta = beta;
+
+  Timer timer;
+  equilibrate(u, mp, rng, thermalization_sweeps);
+  std::printf("thermalized in %.1f s, plaquette %.4f\n\n", timer.seconds(),
+              average_plaquette(u));
+
+  FermionField<double> b(geom.volume());
+  gaussian(b, 1);
+
+  std::printf(" cfg  plaquette  acceptance  outer its  solve[s]  rel.resid\n");
+  for (int cfg = 0; cfg < configurations; ++cfg) {
+    MetropolisStats acc;
+    for (int s = 0; s < sweeps_between; ++s) {
+      const auto st = metropolis_sweep(u, mp, rng);
+      acc.proposals += st.proposals;
+      acc.accepted += st.accepted;
+    }
+    // Solve on the new configuration (boundary phases applied to a copy;
+    // the chain itself evolves the unphased field).
+    auto u_phys = u;
+    u_phys.make_time_antiperiodic();
+
+    DDSolverConfig cfg_dd;
+    cfg_dd.block = {4, 4, 4, 4};
+    cfg_dd.schwarz_iterations = 4;
+    cfg_dd.tolerance = 1e-10;
+    DDSolver solver(geom, u_phys, mass, csw, cfg_dd);
+
+    FermionField<double> x(geom.volume()), r(geom.volume());
+    Timer solve_timer;
+    const auto stats = solver.solve(b, x);
+    const double solve_s = solve_timer.seconds();
+    solver.op().apply(x, r);
+    sub(b, r, r);
+    std::printf("  %2d     %.4f       %.2f       %4d     %6.2f   %.2e%s\n",
+                cfg, average_plaquette(u), acc.acceptance(),
+                stats.iterations, solve_s, norm(r) / norm(b),
+                stats.converged ? "" : "  NOT CONVERGED");
+  }
+  std::printf(
+      "\nEach configuration requires a full solve before the chain can\n"
+      "advance — the serial dependency that makes the DD solver's\n"
+      "strong-scaling advantage (paper Fig. 6) matter in practice.\n");
+  return 0;
+}

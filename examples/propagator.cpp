@@ -1,0 +1,82 @@
+// Quark propagator and pion correlator — the paper's "data analysis" use
+// case (Sec. IV-C1): many independent solves of A psi = source, one per
+// spin-color component of a point source.
+//
+// The pion two-point function is
+//   C(t) = sum_x sum_{s,c,s',c'} |S(x,t; 0)_{s c, s' c'}|^2,
+// where S is the propagator from a point source at the origin. On a real
+// gauge ensemble, ln C(t)/C(t+1) plateaus at the pion mass; on our single
+// synthetic configuration it still decays exponentially, which this
+// example shows.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "lqcd/base/timer.h"
+#include "lqcd/core/dd_solver.h"
+
+using namespace lqcd;
+
+int main() {
+  const Geometry geom({8, 8, 8, 16});
+  auto gauge = random_gauge_field<double>(geom, 0.25, 11);
+  gauge.make_time_antiperiodic();
+  std::printf("lattice 8^3x16, average plaquette %.4f\n",
+              average_plaquette(gauge));
+
+  DDSolverConfig cfg;
+  cfg.block = {4, 4, 4, 4};
+  cfg.basis_size = 16;
+  cfg.deflation_size = 4;
+  cfg.schwarz_iterations = 4;
+  cfg.block_mr_iterations = 5;
+  cfg.tolerance = 1e-9;
+  const double mass = -0.30, csw = 1.0;
+  DDSolver solver(geom, gauge, mass, csw, cfg);
+
+  const std::int32_t origin = geom.index({0, 0, 0, 0});
+  const auto volume = geom.volume();
+
+  // One solve per source spin-color; accumulate |S|^2 per timeslice.
+  std::vector<double> corr(static_cast<std::size_t>(geom.dim(3)), 0.0);
+  Timer timer;
+  std::int64_t total_iters = 0;
+  for (int s = 0; s < kNumSpins; ++s)
+    for (int c = 0; c < kNumColors; ++c) {
+      FermionField<double> src(volume), psi(volume);
+      src[origin].s[s].c[c] = Complex<double>(1, 0);
+      const auto stats = solver.solve(src, psi);
+      total_iters += stats.iterations;
+      if (!stats.converged) {
+        std::printf("solve (s=%d,c=%d) failed to converge!\n", s, c);
+        return 1;
+      }
+      for (std::int32_t x = 0; x < volume; ++x) {
+        const int t = geom.coord(x)[3];
+        corr[static_cast<std::size_t>(t)] += norm2(psi[x]);
+      }
+      std::printf("  source (spin %d, color %d): %3d outer iterations\n", s,
+                  c, stats.iterations);
+    }
+
+  std::printf(
+      "\n12 propagator solves in %.1f s (%lld outer iterations total)\n\n",
+      timer.seconds(), static_cast<long long>(total_iters));
+
+  std::printf("pion correlator (point source at origin):\n");
+  std::printf("   t        C(t)      m_eff(t) = ln C(t)/C(t+1)\n");
+  const int lt = geom.dim(3);
+  for (int t = 0; t < lt; ++t) {
+    const double c0 = corr[static_cast<std::size_t>(t)];
+    const double c1 = corr[static_cast<std::size_t>((t + 1) % lt)];
+    if (t < lt / 2 && c1 > 0) {
+      std::printf("  %2d  %12.5e   %8.4f\n", t, c0, std::log(c0 / c1));
+    } else {
+      std::printf("  %2d  %12.5e\n", t, c0);
+    }
+  }
+  std::printf(
+      "\nThe correlator decays exponentially away from the source and is\n"
+      "symmetric about t = Lt/2 (antiperiodic BC), as expected.\n");
+  return 0;
+}

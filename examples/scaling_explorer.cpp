@@ -1,0 +1,90 @@
+// Scaling explorer: plan a production run on a (virtual) KNC cluster.
+//
+// Front-end to the cluster performance model — the paper's "data
+// generation" use case, where one picks the node count that minimizes
+// time-to-solution for the Markov chain. Give it a lattice and a list of
+// node counts; it prints the modeled time, per-phase breakdown, load, and
+// cost for both solvers.
+//
+// Usage:
+//   scaling_explorer [Lx Ly Lz Lt] [node counts...]
+//   (defaults: 48 48 48 64 on 16..256 nodes)
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "lqcd/base/table.h"
+#include "lqcd/cluster/cluster_sim.h"
+
+using namespace lqcd;
+using namespace lqcd::cluster;
+
+int main(int argc, char** argv) {
+  Coord lattice{48, 48, 48, 64};
+  std::vector<int> node_counts = {16, 24, 32, 48, 64, 96, 128, 192, 256};
+  if (argc >= 5) {
+    for (int mu = 0; mu < 4; ++mu)
+      lattice[static_cast<size_t>(mu)] = std::atoi(argv[mu + 1]);
+    if (argc > 5) {
+      node_counts.clear();
+      for (int i = 5; i < argc; ++i) node_counts.push_back(std::atoi(argv[i]));
+    }
+  }
+
+  std::printf("Lattice %d x %d x %d x %d on a virtual KNC cluster "
+              "(Stampede-like fabric)\n\n",
+              lattice[0], lattice[1], lattice[2], lattice[3]);
+
+  ClusterSim sim;
+  DDSolveSpec dd;
+  dd.lattice = lattice;
+  dd.block = {8, 4, 4, 4};
+  dd.basis_size = 16;
+  dd.deflation_size = 6;
+  dd.ischwarz = 16;
+  dd.idomain = 5;
+  dd.outer_iterations = 200;  // typical near-physical working point
+  dd.global_sum_events = 2 * dd.outer_iterations;
+
+  NonDDSolveSpec nd;
+  nd.lattice = lattice;
+  nd.iterations = 4700;
+  nd.global_sum_events = 5 * nd.iterations;
+
+  Table t({"KNCs", "grid", "ndom", "load%", "DD time[s]", "M%", "GS%",
+           "DD KNC-min", "non-DD time[s]", "non-DD KNC-min"});
+  for (const int n : node_counts) {
+    try {
+      const auto part = NodePartition::choose(lattice, n, dd.block);
+      const auto r = sim.simulate_dd(dd, part);
+      const auto rn = sim.simulate_nondd(
+          nd, NodePartition::choose(lattice, n, {2, 2, 2, 2}));
+      char grid[32];
+      std::snprintf(grid, sizeof grid, "%dx%dx%dx%d", part.grid()[0],
+                    part.grid()[1], part.grid()[2], part.grid()[3]);
+      t.row()
+          .cell(n)
+          .cell(std::string(grid))
+          .cell(r.ndomain_per_color)
+          .cell(100 * r.load, 0)
+          .cell(r.total_seconds, 2)
+          .cell(r.pct(r.m), 1)
+          .cell(r.pct(r.gs), 1)
+          .cell(n * r.total_seconds / 60.0, 2)
+          .cell(rn.total_seconds, 2)
+          .cell(n * rn.total_seconds / 60.0, 2);
+    } catch (const Error&) {
+      t.row().cell(n).cell("(no valid node grid)");
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "Notes:\n"
+      "  * iteration counts assume a near-physical quark mass (~200 outer\n"
+      "    DD iterations / ~4700 BiCGstab iterations); scale both for your\n"
+      "    own physics. The DD/non-DD *ratios* are iteration-insensitive.\n"
+      "  * 'ndom' is the per-color Schwarz domain count per node (Eq. 6);\n"
+      "    when it drops below 60 the KNC cores idle (Eq. 7) and below ~30\n"
+      "    the strong-scaling limit is reached.\n");
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Global problem constants shared across layers.
+#pragma once
+
+namespace lqcd {
+
+/// Number of space-time dimensions (x, y, z, t).
+inline constexpr int kNumDims = 4;
+
+}  // namespace lqcd

@@ -1,0 +1,45 @@
+// Error handling: checked invariants that throw lqcd::Error with context.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lqcd {
+
+/// Exception type thrown by all LQCD_CHECK/LQCD_REQUIRE failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace lqcd
+
+/// Precondition / invariant check, active in all build types. Use for
+/// user-facing API contract violations (bad lattice sizes, mismatched
+/// geometries), not for per-site hot-loop asserts.
+#define LQCD_CHECK(cond)                                                \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::lqcd::detail::throw_error(#cond, __FILE__, __LINE__, "");       \
+  } while (0)
+
+#define LQCD_CHECK_MSG(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream lqcd_os_;                                      \
+      lqcd_os_ << msg;                                                  \
+      ::lqcd::detail::throw_error(#cond, __FILE__, __LINE__,            \
+                                  lqcd_os_.str());                      \
+    }                                                                   \
+  } while (0)

@@ -1,0 +1,86 @@
+// Deterministic, seedable random number generation.
+//
+// Reproducibility across runs and thread counts matters for tests and for
+// regenerating the paper's experiments, so we use a small counter-friendly
+// generator (splitmix64-seeded xoshiro256**) instead of std::mt19937, whose
+// distributions are not guaranteed to be bit-identical across standard
+// library implementations.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace lqcd {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_u64(std::uint64_t n) noexcept {
+    // Lemire's nearly-divisionless bounded sampling would be overkill here;
+    // plain multiply-shift bias is < 2^-53 for the n we use.
+    return static_cast<std::uint64_t>(uniform() * static_cast<double>(n));
+  }
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare so the
+  /// stream position is a pure function of call count).
+  double gaussian() noexcept {
+    double u1 = 0.0;
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  }
+
+  /// Derive an independent stream (e.g. one per site or per thread).
+  Rng fork(std::uint64_t stream_id) noexcept {
+    std::uint64_t sm = next_u64() ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+    Rng r(0);
+    for (auto& s : r.s_) s = splitmix64(sm);
+    return r;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace lqcd

@@ -1,0 +1,64 @@
+#include "lqcd/base/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "lqcd/base/error.h"
+
+namespace lqcd {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  LQCD_CHECK(!header_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  LQCD_CHECK_MSG(!rows_.empty(), "call row() before cell()");
+  LQCD_CHECK_MSG(rows_.back().size() < header_.size(),
+                 "row has more cells than header columns");
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+
+std::string Table::str(int indent) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << pad;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::setw(static_cast<int>(width[c])) << cells[c];
+      if (c + 1 < cells.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  os << pad;
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    total += width[c] + (c + 1 < header_.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace lqcd

@@ -1,0 +1,36 @@
+// Plain-text table formatting for benchmark reports.
+//
+// The benchmark binaries print the same rows the paper's tables/figures
+// report; this helper keeps the column alignment readable without pulling
+// in a formatting dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lqcd {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Start a new row. Subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(double value, int precision = 2);
+  Table& cell(long long value);
+  Table& cell(long value) { return cell(static_cast<long long>(value)); }
+  Table& cell(int value) { return cell(static_cast<long long>(value)); }
+  Table& cell(std::size_t value) {
+    return cell(static_cast<long long>(value));
+  }
+
+  /// Render with aligned columns; `indent` spaces prefix every line.
+  std::string str(int indent = 2) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,253 @@
+#include "lqcd/cluster/cluster_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lqcd::cluster {
+
+namespace {
+
+constexpr double kHalfSpinorSingleBytes = 48.0;  // 12 reals, float
+constexpr double kHalfSpinorDoubleBytes = 96.0;  // 12 reals, double
+constexpr double kSpinorDoubleBytes = 192.0;     // 24 reals, double
+
+/// Streaming bytes per site of one double-precision Wilson-Clover apply:
+/// gauge (4 links x 18 reals) + clover (72) + spinor in + out.
+constexpr double kABytesPerSiteDouble = (72.0 + 72.0 + 24.0 + 24.0) * 8.0;
+
+double mem_stream_seconds(const knc::KncSpec& knc, double bytes,
+                          double utilization) {
+  return bytes / (knc.mem_bw_gbs * 1e9 * utilization);
+}
+
+}  // namespace
+
+ClusterResult ClusterSim::simulate_dd(const DDSolveSpec& spec,
+                                      const NodePartition& part) const {
+  ClusterResult res;
+  res.nodes = part.num_nodes();
+  res.global_sums = spec.global_sum_events > 0
+                        ? spec.global_sum_events
+                        : 2 * spec.outer_iterations;
+
+  const auto block_work =
+      knc::block_solve_work(spec.block, spec.idomain, spec.half_matrices);
+  const double block_seconds =
+      kernel_.seconds_per_core(block_work.kernel, knc::PrefetchMode::kL1L2);
+  const int cores = p_.knc.cores;
+
+  double per_iter_m = 0, per_iter_a = 0, per_iter_gs = 0, per_iter_other = 0;
+  double flops_m = 0, flops_a = 0, flops_gs = 0, flops_other = 0;
+  double comm_bytes_per_iter = 0;
+  double load_weighted = 0;
+  std::int64_t total_nodes_counted = 0;
+
+  for (const auto& g : part.groups()) {
+    const std::int64_t vloc = local_volume(g);
+    const std::int64_t nd = knc::ndomain_per_color(vloc, spec.block);
+    const double load = knc::core_load(nd, cores);
+    load_weighted += load * g.count;
+    total_nodes_counted += g.count;
+
+    // ---- M: Schwarz preconditioner --------------------------------------
+    const std::int64_t rounds = nd > 0 ? (nd + cores - 1) / cores : 0;
+    const double compute_per_phase =
+        static_cast<double>(rounds) * block_seconds * p_.os_jitter;
+    // Boundary-buffer copy into / out of the global send arrays
+    // (Sec. III-E): all domain faces stream through memory once per sweep.
+    const double buffer_bytes_per_sweep =
+        2.0 * nd * block_work.pack_bytes;  // both colors
+    const double buffer_copy_per_sweep = mem_stream_seconds(
+        p_.knc, 2.0 * buffer_bytes_per_sweep, p_.blas_bw_utilization);
+
+    // Network: per color phase, each cut direction sends the half-spinors
+    // of that color's node-face sites (half the face) both ways.
+    double comm_per_phase = 0;
+    double sent_bytes_per_phase = 0;
+    const double boundary_site_bytes = spec.half_precision_boundaries
+                                           ? kHalfSpinorSingleBytes / 2.0
+                                           : kHalfSpinorSingleBytes;
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      const std::int64_t fs = face_sites(part, g, mu);
+      if (fs == 0) continue;
+      const double msg_bytes = fs / 2.0 * boundary_site_bytes;
+      comm_per_phase += 2.0 * message_seconds(p_.network, msg_bytes);
+      sent_bytes_per_phase += 2.0 * msg_bytes;
+    }
+    // Fig. 4 hiding criterion: full overlap while cores <= ndomain/2.
+    const double hide_geom = std::clamp(
+        static_cast<double>(nd) / cores - 1.0, 0.0, 1.0);
+    const double exposed_fraction =
+        1.0 - p_.hiding_efficiency * hide_geom;
+    const double m_per_sweep = 2.0 * compute_per_phase +
+                               buffer_copy_per_sweep +
+                               2.0 * p_.phase_sync_seconds +
+                               exposed_fraction * 2.0 * comm_per_phase;
+    const double m_iter = spec.ischwarz * m_per_sweep;
+    const double m_flops =
+        spec.ischwarz * 2.0 * static_cast<double>(nd) * block_work.flops;
+
+    // ---- A: outer Wilson-Clover apply (double) --------------------------
+    const double a_flops = 1848.0 * static_cast<double>(vloc);
+    const double a_mem = mem_stream_seconds(
+        p_.knc, kABytesPerSiteDouble * static_cast<double>(vloc),
+        p_.a_bw_utilization);
+    double a_comm = 0;
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      const std::int64_t fs = face_sites(part, g, mu);
+      if (fs == 0) continue;
+      a_comm += 2.0 * message_seconds(
+                          p_.network, fs * kHalfSpinorDoubleBytes);
+    }
+    // The outer A is applied once per iteration; its halo exchange
+    // overlaps with the interior computation (standard surface/interior
+    // split — the local volume is large in units of sites).
+    const double a_iter =
+        a_mem * p_.base_jitter +
+        std::max(0.0, a_comm - 0.8 * a_mem);
+
+    // ---- GS: Gram-Schmidt orthogonalization -----------------------------
+    const double avg_j =
+        0.5 * (spec.deflation_size + spec.basis_size) + 1.0;
+    const double gs_flops =
+        avg_j * 2.0 * 96.0 * static_cast<double>(vloc);  // dots + axpys
+    const double gs_bytes =
+        (avg_j + 1.0) * 2.0 * kSpinorDoubleBytes * static_cast<double>(vloc);
+    const double gs_events_per_iter =
+        static_cast<double>(res.global_sums) /
+        std::max(1, spec.outer_iterations);
+    const double gs_iter =
+        mem_stream_seconds(p_.knc, gs_bytes, p_.blas_bw_utilization) +
+        gs_events_per_iter * allreduce_seconds(p_.network, res.nodes);
+
+    // ---- other: restart transforms, solution update, LS ----------------
+    // The deflated-restart basis transforms V <- V Phat, Z <- Z Phat are
+    // fused multi-field passes: each source field is streamed once per
+    // cycle regardless of the number of output combinations.
+    const int m = spec.basis_size, k = spec.deflation_size;
+    const double cycle_len = std::max(1, m - k);
+    const double other_flops =
+        (static_cast<double>(m + 1) * (k + 1) +
+         static_cast<double>(m) * k + m) /
+        cycle_len * 96.0 * static_cast<double>(vloc);
+    const double other_bytes =
+        (static_cast<double>(m + 1) + (k + 1) + m + k + 4.0) / cycle_len *
+        kSpinorDoubleBytes * static_cast<double>(vloc);
+    const double other_iter =
+        mem_stream_seconds(p_.knc, other_bytes, p_.blas_bw_utilization);
+
+    // The slowest group gates every phase (bulk-synchronous solver).
+    if (m_iter > per_iter_m) {
+      per_iter_m = m_iter;
+      flops_m = m_flops;
+      comm_bytes_per_iter = spec.ischwarz * 2.0 * sent_bytes_per_phase;
+      res.ndomain_per_color = nd;
+    }
+    per_iter_a = std::max(per_iter_a, a_iter);
+    flops_a = std::max(flops_a, a_flops);
+    per_iter_gs = std::max(per_iter_gs, gs_iter);
+    flops_gs = std::max(flops_gs, gs_flops);
+    per_iter_other = std::max(per_iter_other, other_iter);
+    flops_other = std::max(flops_other, other_flops);
+  }
+
+  const double iters = spec.outer_iterations;
+  res.load = load_weighted / std::max<std::int64_t>(1, total_nodes_counted);
+  res.m = {per_iter_m * iters, flops_m * iters};
+  res.a = {per_iter_a * iters, flops_a * iters};
+  res.gs = {per_iter_gs * iters, flops_gs * iters};
+  res.other = {per_iter_other * iters, flops_other * iters};
+  res.total_seconds =
+      res.m.seconds + res.a.seconds + res.gs.seconds + res.other.seconds;
+  res.comm_mb_per_node = comm_bytes_per_iter * iters / 1e6 +
+                         /* A halo, double half-spinors */ 0.0;
+  res.tflops_m =
+      res.m.seconds > 0
+          ? res.m.flops_per_node * res.nodes / res.m.seconds / 1e12
+          : 0.0;
+  const double total_flops_per_node = res.m.flops_per_node +
+                                      res.a.flops_per_node +
+                                      res.gs.flops_per_node +
+                                      res.other.flops_per_node;
+  res.tflops_total = res.total_seconds > 0 ? total_flops_per_node *
+                                                 res.nodes /
+                                                 res.total_seconds / 1e12
+                                           : 0.0;
+  return res;
+}
+
+ClusterResult ClusterSim::simulate_nondd(const NonDDSolveSpec& spec,
+                                         const NodePartition& part) const {
+  ClusterResult res;
+  res.nodes = part.num_nodes();
+  res.global_sums = spec.global_sum_events > 0
+                        ? spec.global_sum_events
+                        : 5 * static_cast<std::int64_t>(spec.iterations);
+  const double gs_per_iter = static_cast<double>(res.global_sums) /
+                             std::max(1, spec.iterations);
+
+  double per_iter = 0;
+  double flops_per_node = 0;
+  double comm_bytes_per_iter = 0;
+
+  // Mixed-precision mode runs the bulk of iterations in single precision
+  // stored as half (SOA=16): half the bytes of the double solver.
+  const double precision_bytes_scale = spec.mixed_precision ? 0.5 : 1.0;
+
+  for (const auto& g : part.groups()) {
+    const std::int64_t vloc = local_volume(g);
+    // Two operator applications per BiCGstab iteration.
+    const double a_bytes =
+        kABytesPerSiteDouble * precision_bytes_scale *
+        static_cast<double>(vloc);
+    const double a_time =
+        mem_stream_seconds(p_.knc, a_bytes, p_.nondd_bw_utilization);
+    // ~14 vector streams of BLAS-1 per iteration.
+    const double blas_bytes = 14.0 * kSpinorDoubleBytes *
+                              precision_bytes_scale *
+                              static_cast<double>(vloc);
+    const double blas_time =
+        mem_stream_seconds(p_.knc, blas_bytes, p_.blas_bw_utilization);
+
+    double halo = 0;
+    double sent = 0;
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      const std::int64_t fs = face_sites(part, g, mu);
+      if (fs == 0) continue;
+      const double msg =
+          fs * kHalfSpinorDoubleBytes * precision_bytes_scale;
+      halo += 2.0 * message_seconds(p_.network, msg);
+      sent += 2.0 * msg;
+    }
+    // BiCGstab's data dependencies prevent deep overlap; the
+    // surface/interior split hides at most the interior share of one
+    // apply.
+    const double exposed_halo = std::max(0.2 * halo, halo - 0.5 * a_time);
+
+    const double iter_time = (2.0 * a_time + blas_time) * p_.base_jitter +
+                             2.0 * exposed_halo +
+                             gs_per_iter *
+                                 allreduce_seconds(p_.network, res.nodes);
+    const double iter_flops =
+        (2.0 * 1848.0 + 14.0 * 48.0) * static_cast<double>(vloc);
+    if (iter_time > per_iter) {
+      per_iter = iter_time;
+      flops_per_node = iter_flops;
+      comm_bytes_per_iter = 2.0 * sent;
+    }
+  }
+
+  const double iters = spec.iterations;
+  res.m = {0, 0};
+  res.a = {per_iter * iters, flops_per_node * iters};
+  res.total_seconds = per_iter * iters;
+  res.comm_mb_per_node = comm_bytes_per_iter * iters / 1e6;
+  res.tflops_total =
+      res.total_seconds > 0
+          ? flops_per_node * iters * res.nodes / res.total_seconds / 1e12
+          : 0.0;
+  res.load = 1.0;
+  return res;
+}
+
+}  // namespace lqcd::cluster

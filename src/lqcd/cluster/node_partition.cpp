@@ -1,0 +1,113 @@
+#include "lqcd/cluster/node_partition.h"
+
+#include <algorithm>
+#include <map>
+
+namespace lqcd::cluster {
+
+NodePartition NodePartition::uniform(const Coord& lattice,
+                                     const Coord& grid) {
+  NodePartition p;
+  p.lattice_ = lattice;
+  p.grid_ = grid;
+  p.num_nodes_ = 1;
+  Group g;
+  g.count = 1;
+  for (int mu = 0; mu < kNumDims; ++mu) {
+    const auto mu_s = static_cast<std::size_t>(mu);
+    LQCD_CHECK_MSG(grid[mu_s] >= 1, "node grid extent must be >= 1");
+    LQCD_CHECK_MSG(lattice[mu_s] % grid[mu_s] == 0,
+                   "lattice dim " << mu << " not divisible by node grid");
+    p.num_nodes_ *= grid[mu_s];
+    g.local[mu_s] = lattice[mu_s] / grid[mu_s];
+  }
+  g.count = p.num_nodes_;
+  p.groups_.push_back(g);
+  return p;
+}
+
+NodePartition NodePartition::nonuniform_t(const Coord& lattice,
+                                          const std::array<int, 3>& grid_xyz,
+                                          const std::vector<int>& t_extents) {
+  NodePartition p;
+  p.lattice_ = lattice;
+  int nodes_xyz = 1;
+  for (int mu = 0; mu < 3; ++mu) {
+    const auto mu_s = static_cast<std::size_t>(mu);
+    LQCD_CHECK(lattice[mu_s] % grid_xyz[mu_s] == 0);
+    p.grid_[mu_s] = grid_xyz[mu_s];
+    nodes_xyz *= grid_xyz[mu_s];
+  }
+  int t_sum = 0;
+  for (const int t : t_extents) {
+    LQCD_CHECK_MSG(t > 0, "t slab extent must be positive");
+    t_sum += t;
+  }
+  LQCD_CHECK_MSG(t_sum == lattice[3],
+                 "t slab extents sum to " << t_sum << ", expected "
+                                          << lattice[3]);
+  p.grid_[3] = static_cast<int>(t_extents.size());
+  p.num_nodes_ = nodes_xyz * p.grid_[3];
+
+  // Collapse equal t-extents into groups.
+  std::map<int, int> extent_count;
+  for (const int t : t_extents) ++extent_count[t];
+  for (const auto& [t, count] : extent_count) {
+    Group g;
+    g.count = count * nodes_xyz;
+    for (int mu = 0; mu < 3; ++mu)
+      g.local[static_cast<std::size_t>(mu)] =
+          lattice[static_cast<std::size_t>(mu)] /
+          grid_xyz[static_cast<std::size_t>(mu)];
+    g.local[3] = t;
+    p.groups_.push_back(g);
+  }
+  return p;
+}
+
+NodePartition NodePartition::choose(const Coord& lattice, int nodes,
+                                    const Coord& block) {
+  LQCD_CHECK(nodes >= 1);
+  Coord best_grid{0, 0, 0, 0};
+  double best_surface = -1.0;
+
+  // Enumerate all factorizations nodes = gx*gy*gz*gt with valid local
+  // dims; pick the one minimizing the total communication surface.
+  for (int gx = 1; gx <= nodes; ++gx) {
+    if (nodes % gx != 0 || lattice[0] % gx != 0) continue;
+    if ((lattice[0] / gx) % block[0] != 0) continue;
+    const int nyzt = nodes / gx;
+    for (int gy = 1; gy <= nyzt; ++gy) {
+      if (nyzt % gy != 0 || lattice[1] % gy != 0) continue;
+      if ((lattice[1] / gy) % block[1] != 0) continue;
+      const int nzt = nyzt / gy;
+      for (int gz = 1; gz <= nzt; ++gz) {
+        if (nzt % gz != 0 || lattice[2] % gz != 0) continue;
+        if ((lattice[2] / gz) % block[2] != 0) continue;
+        const int gt = nzt / gz;
+        if (lattice[3] % gt != 0) continue;
+        if ((lattice[3] / gt) % block[3] != 0) continue;
+        const Coord grid{gx, gy, gz, gt};
+        double surface = 0;
+        const std::int64_t local_vol =
+            static_cast<std::int64_t>(lattice[0] / gx) * (lattice[1] / gy) *
+            (lattice[2] / gz) * (lattice[3] / gt);
+        for (int mu = 0; mu < kNumDims; ++mu) {
+          const auto mu_s = static_cast<std::size_t>(mu);
+          if (grid[mu_s] > 1)
+            surface += static_cast<double>(local_vol) /
+                       (lattice[mu_s] / grid[mu_s]);
+        }
+        if (best_surface < 0 || surface < best_surface) {
+          best_surface = surface;
+          best_grid = grid;
+        }
+      }
+    }
+  }
+  LQCD_CHECK_MSG(best_surface >= 0,
+                 "no valid node grid for " << nodes << " nodes");
+  return uniform(lattice, best_grid);
+}
+
+}  // namespace lqcd::cluster

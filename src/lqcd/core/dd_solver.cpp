@@ -1,0 +1,57 @@
+#include "lqcd/core/dd_solver.h"
+
+namespace lqcd {
+
+DDSolver::DDSolver(const Geometry& geom, const GaugeField<double>& gauge,
+                   double mass, double csw, const DDSolverConfig& config)
+    : config_(config), geom_(&geom), cb_(geom) {
+  LQCD_CHECK(&gauge.geometry() == &geom);
+  op_d_ = std::make_unique<WilsonCloverOperator<double>>(geom, cb_, gauge,
+                                                         mass, csw);
+  gauge_f_ = std::make_unique<GaugeField<float>>(convert<float>(gauge));
+  op_f_ = std::make_unique<WilsonCloverOperator<float>>(
+      geom, cb_, *gauge_f_, static_cast<float>(mass),
+      static_cast<float>(csw));
+  op_f_->prepare_schur();
+  part_ = std::make_unique<DomainPartition>(geom, config.block);
+
+  SchwarzParams sp;
+  sp.schwarz_iterations = config.schwarz_iterations;
+  sp.block_mr_iterations = config.block_mr_iterations;
+  sp.additive = config.additive_schwarz;
+  sp.half_precision_spinors = config.half_precision_spinors;
+  Preconditioner<float>* inner = nullptr;
+  if (config.half_precision_matrices) {
+    schwarz_half_ =
+        std::make_unique<SchwarzPreconditioner<Half>>(*part_, *op_f_, sp);
+    inner = schwarz_half_.get();
+  } else {
+    schwarz_single_ =
+        std::make_unique<SchwarzPreconditioner<float>>(*part_, *op_f_, sp);
+    inner = schwarz_single_.get();
+  }
+  adapter_ = std::make_unique<SchwarzPrecondAdapter>(*inner, geom.volume());
+  linop_ = std::make_unique<WilsonCloverLinOp<double>>(*op_d_);
+}
+
+SolverStats DDSolver::solve(const FermionField<double>& b,
+                            FermionField<double>& x) {
+  FGMRESDRParams p;
+  p.basis_size = config_.basis_size;
+  p.deflation_size = config_.deflation_size;
+  p.tolerance = config_.tolerance;
+  p.max_iterations = config_.max_iterations;
+  return fgmres_dr_solve<double>(*linop_, adapter_.get(), b, x, p);
+}
+
+const SchwarzStats& DDSolver::schwarz_stats() const {
+  return config_.half_precision_matrices ? schwarz_half_->stats()
+                                         : schwarz_single_->stats();
+}
+
+void DDSolver::reset_stats() {
+  if (schwarz_half_) schwarz_half_->reset_stats();
+  if (schwarz_single_) schwarz_single_->reset_stats();
+}
+
+}  // namespace lqcd

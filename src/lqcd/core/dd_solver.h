@@ -1,0 +1,91 @@
+// DDSolver — the paper's complete solver pipeline, as a single public API.
+//
+//   outer:  flexible GMRES with deflated restarts, double precision
+//   precond: multiplicative Schwarz, ISchwarz sweeps, float arithmetic,
+//            gauge links + clover blocks stored in half precision
+//            (configurable), even-odd MR block solves (Idomain iterations)
+//
+// Mirrors Table I of the paper. Construct once per gauge configuration,
+// then call solve() per right-hand side.
+#pragma once
+
+#include <memory>
+
+#include "lqcd/schwarz/schwarz.h"
+#include "lqcd/solver/even_odd.h"
+#include "lqcd/solver/fgmres_dr.h"
+
+namespace lqcd {
+
+struct DDSolverConfig {
+  /// Schwarz domain size; must tile the lattice with even grid extents.
+  /// The paper's production choice is {8,4,4,4} (fits KNC L2).
+  Coord block = {4, 4, 4, 4};
+  int basis_size = 16;         ///< outer FGMRES basis m
+  int deflation_size = 4;      ///< k deflated harmonic Ritz vectors
+  int schwarz_iterations = 16; ///< ISchwarz
+  int block_mr_iterations = 5; ///< Idomain
+  bool additive_schwarz = false;
+  /// Store the preconditioner's gauge+clover in IEEE half (paper default);
+  /// spinors stay single precision either way.
+  bool half_precision_matrices = true;
+  /// Paper Sec. VI future work: store the preconditioner's spinors in
+  /// half precision as well (emulated; see SchwarzParams).
+  bool half_precision_spinors = false;
+  double tolerance = 1e-10;    ///< relative residual target (outer, double)
+  int max_iterations = 2000;   ///< outer Arnoldi steps
+};
+
+/// Bridges the double-precision outer solver to the float preconditioner:
+/// converts in, applies M, converts out (the paper's Sec. III precision
+/// split).
+class SchwarzPrecondAdapter final : public Preconditioner<double> {
+ public:
+  SchwarzPrecondAdapter(Preconditioner<float>& inner, std::int64_t n)
+      : inner_(&inner), in_f_(n), out_f_(n) {}
+
+  void apply(const FermionField<double>& in,
+             FermionField<double>& out) override {
+    convert(in, in_f_);
+    inner_->apply(in_f_, out_f_);
+    convert(out_f_, out);
+  }
+
+ private:
+  Preconditioner<float>* inner_;
+  FermionField<float> in_f_, out_f_;
+};
+
+class DDSolver {
+ public:
+  /// `geom` and `gauge` must outlive the solver. The gauge field should
+  /// already carry its boundary phases (make_time_antiperiodic()).
+  DDSolver(const Geometry& geom, const GaugeField<double>& gauge, double mass,
+           double csw, const DDSolverConfig& config);
+
+  /// Solve A x = b to the configured relative residual.
+  SolverStats solve(const FermionField<double>& b, FermionField<double>& x);
+
+  const DDSolverConfig& config() const noexcept { return config_; }
+  const WilsonCloverOperator<double>& op() const noexcept { return *op_d_; }
+  const DomainPartition& partition() const noexcept { return *part_; }
+
+  /// Counters accumulated inside the Schwarz preconditioner.
+  const SchwarzStats& schwarz_stats() const;
+  void reset_stats();
+
+ private:
+  DDSolverConfig config_;
+  const Geometry* geom_;
+  Checkerboard cb_;
+  std::unique_ptr<WilsonCloverOperator<double>> op_d_;
+  std::unique_ptr<GaugeField<float>> gauge_f_;
+  std::unique_ptr<WilsonCloverOperator<float>> op_f_;
+  std::unique_ptr<DomainPartition> part_;
+  std::unique_ptr<SchwarzPreconditioner<float>> schwarz_single_;
+  std::unique_ptr<SchwarzPreconditioner<Half>> schwarz_half_;
+  std::unique_ptr<SchwarzPrecondAdapter> adapter_;
+  std::unique_ptr<WilsonCloverLinOp<double>> linop_;
+};
+
+}  // namespace lqcd

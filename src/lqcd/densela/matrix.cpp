@@ -1,0 +1,313 @@
+#include "lqcd/densela/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lqcd::densela {
+
+namespace {
+
+/// Apply a Householder reflector defined by v (unit-normalized below row
+/// `start`) to the rows [start, rows) of m, columns [c0, cols).
+void apply_reflector_left(Matrix& m, const std::vector<Cplx>& v, int start,
+                          int c0) {
+  const int rows = m.rows(), cols = m.cols();
+  for (int j = c0; j < cols; ++j) {
+    Cplx dotv(0, 0);
+    for (int i = start; i < rows; ++i)
+      dotv += std::conj(v[static_cast<std::size_t>(i - start)]) * m(i, j);
+    dotv *= 2.0;
+    for (int i = start; i < rows; ++i)
+      m(i, j) -= dotv * v[static_cast<std::size_t>(i - start)];
+  }
+}
+
+void apply_reflector_right(Matrix& m, const std::vector<Cplx>& v, int start) {
+  const int rows = m.rows(), cols = m.cols();
+  for (int i = 0; i < rows; ++i) {
+    Cplx dotv(0, 0);
+    for (int j = start; j < cols; ++j)
+      dotv += m(i, j) * v[static_cast<std::size_t>(j - start)];
+    dotv *= 2.0;
+    for (int j = start; j < cols; ++j)
+      m(i, j) -= dotv * std::conj(v[static_cast<std::size_t>(j - start)]);
+  }
+}
+
+/// Build the Householder vector that zeroes x[1:] (x already extracted),
+/// returning (v, beta) with the convention H = I - 2 v v^H, H x = beta e_0.
+bool make_reflector(std::vector<Cplx>& x) {
+  double norm2 = 0;
+  for (const auto& z : x) norm2 += std::norm(z);
+  const double nrm = std::sqrt(norm2);
+  if (nrm == 0.0) return false;
+  double rest = 0;
+  for (std::size_t i = 1; i < x.size(); ++i) rest += std::norm(x[i]);
+  if (rest == 0.0 && x[0].imag() == 0.0 && x[0].real() >= 0.0) return false;
+  // alpha = -sign(x0) * nrm, with complex sign.
+  const Cplx sign =
+      std::abs(x[0]) > 0 ? x[0] / std::abs(x[0]) : Cplx(1, 0);
+  const Cplx alpha = -sign * nrm;
+  x[0] -= alpha;
+  double vnorm2 = 0;
+  for (const auto& z : x) vnorm2 += std::norm(z);
+  const double vnrm = std::sqrt(vnorm2);
+  if (vnrm == 0.0) return false;
+  for (auto& z : x) z /= vnrm;
+  return true;
+}
+
+}  // namespace
+
+std::vector<Cplx> least_squares(Matrix a, std::vector<Cplx> b) {
+  const int rows = a.rows(), cols = a.cols();
+  LQCD_CHECK(rows >= cols);
+  LQCD_CHECK(static_cast<int>(b.size()) == rows);
+  // Householder QR, applying reflectors to b as we go.
+  for (int k = 0; k < cols; ++k) {
+    std::vector<Cplx> v(static_cast<std::size_t>(rows - k));
+    for (int i = k; i < rows; ++i)
+      v[static_cast<std::size_t>(i - k)] = a(i, k);
+    if (!make_reflector(v)) continue;
+    apply_reflector_left(a, v, k, k);
+    // Apply to b.
+    Cplx dotv(0, 0);
+    for (int i = k; i < rows; ++i)
+      dotv += std::conj(v[static_cast<std::size_t>(i - k)]) *
+              b[static_cast<std::size_t>(i)];
+    dotv *= 2.0;
+    for (int i = k; i < rows; ++i)
+      b[static_cast<std::size_t>(i)] -=
+          dotv * v[static_cast<std::size_t>(i - k)];
+  }
+  // Back substitution on the R factor.
+  std::vector<Cplx> y(static_cast<std::size_t>(cols));
+  for (int i = cols - 1; i >= 0; --i) {
+    Cplx acc = b[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < cols; ++j)
+      acc -= a(i, j) * y[static_cast<std::size_t>(j)];
+    LQCD_CHECK_MSG(std::abs(a(i, i)) > 0, "rank-deficient least squares");
+    y[static_cast<std::size_t>(i)] = acc / a(i, i);
+  }
+  return y;
+}
+
+std::vector<Cplx> solve(Matrix a, std::vector<Cplx> b) {
+  const int n = a.rows();
+  LQCD_CHECK(a.cols() == n && static_cast<int>(b.size()) == n);
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  // LU with partial pivoting, in place.
+  for (int k = 0; k < n; ++k) {
+    int p = k;
+    double best = std::abs(a(k, k));
+    for (int i = k + 1; i < n; ++i)
+      if (std::abs(a(i, k)) > best) {
+        best = std::abs(a(i, k));
+        p = i;
+      }
+    LQCD_CHECK_MSG(best > 0, "singular matrix in solve()");
+    if (p != k) {
+      for (int j = 0; j < n; ++j) std::swap(a(k, j), a(p, j));
+      std::swap(b[static_cast<std::size_t>(k)],
+                b[static_cast<std::size_t>(p)]);
+    }
+    for (int i = k + 1; i < n; ++i) {
+      const Cplx f = a(i, k) / a(k, k);
+      a(i, k) = f;
+      for (int j = k + 1; j < n; ++j) a(i, j) -= f * a(k, j);
+      b[static_cast<std::size_t>(i)] -= f * b[static_cast<std::size_t>(k)];
+    }
+  }
+  std::vector<Cplx> y(static_cast<std::size_t>(n));
+  for (int i = n - 1; i >= 0; --i) {
+    Cplx acc = b[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < n; ++j)
+      acc -= a(i, j) * y[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = acc / a(i, i);
+  }
+  return y;
+}
+
+void thin_qr(const Matrix& a, Matrix& q, Matrix& r) {
+  const int rows = a.rows(), cols = a.cols();
+  LQCD_CHECK(rows >= cols);
+  // Modified Gram-Schmidt with one re-orthogonalization pass: plenty for
+  // the m ~ 20 problems we feed it, and it keeps Q explicitly.
+  q = a;
+  r = Matrix(cols, cols);
+  for (int j = 0; j < cols; ++j) {
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int i = 0; i < j; ++i) {
+        Cplx proj(0, 0);
+        for (int k = 0; k < rows; ++k)
+          proj += std::conj(q(k, i)) * q(k, j);
+        for (int k = 0; k < rows; ++k) q(k, j) -= proj * q(k, i);
+        r(i, j) += proj;
+      }
+    }
+    double nrm2 = 0;
+    for (int k = 0; k < rows; ++k) nrm2 += std::norm(q(k, j));
+    double nrm = std::sqrt(nrm2);
+    if (nrm < 1e-300) {
+      // Rank-deficient column: replace with an arbitrary orthonormal
+      // completion (unit vector orthogonalized against previous columns).
+      for (int k = 0; k < rows; ++k) q(k, j) = Cplx(k == j ? 1 : 0, 0);
+      for (int i = 0; i < j; ++i) {
+        Cplx proj(0, 0);
+        for (int k = 0; k < rows; ++k)
+          proj += std::conj(q(k, i)) * q(k, j);
+        for (int k = 0; k < rows; ++k) q(k, j) -= proj * q(k, i);
+      }
+      nrm2 = 0;
+      for (int k = 0; k < rows; ++k) nrm2 += std::norm(q(k, j));
+      nrm = std::sqrt(nrm2);
+      r(j, j) = Cplx(0, 0);
+      for (int k = 0; k < rows; ++k) q(k, j) /= nrm;
+      continue;
+    }
+    r(j, j) = nrm;
+    for (int k = 0; k < rows; ++k) q(k, j) /= nrm;
+  }
+}
+
+namespace {
+
+/// In-place Hessenberg reduction: a <- Q^H a Q, accumulating Q.
+void hessenberg_reduce(Matrix& a, Matrix& q) {
+  const int n = a.rows();
+  q = Matrix::identity(n);
+  for (int k = 0; k < n - 2; ++k) {
+    std::vector<Cplx> v(static_cast<std::size_t>(n - k - 1));
+    for (int i = k + 1; i < n; ++i)
+      v[static_cast<std::size_t>(i - k - 1)] = a(i, k);
+    if (!make_reflector(v)) continue;
+    apply_reflector_left(a, v, k + 1, 0);
+    apply_reflector_right(a, v, k + 1);
+    apply_reflector_right(q, v, k + 1);
+  }
+}
+
+/// Shifted QR iteration on an upper Hessenberg matrix, accumulating the
+/// unitary transform into q. On return `a` is upper triangular (complex
+/// Schur form).
+void schur_qr(Matrix& a, Matrix& q) {
+  const int n = a.rows();
+  int hi = n - 1;
+  int iter_guard = 0;
+  const int max_iters = 60 * n + 200;
+  while (hi > 0) {
+    LQCD_CHECK_MSG(++iter_guard < max_iters, "QR iteration did not converge");
+    // Deflate converged subdiagonals.
+    const double eps = 1e-15;
+    int deflated = -1;
+    for (int i = hi; i >= 1; --i) {
+      const double small =
+          eps * (std::abs(a(i - 1, i - 1)) + std::abs(a(i, i)));
+      if (std::abs(a(i, i - 1)) <= small + 1e-300) {
+        a(i, i - 1) = Cplx(0, 0);
+        if (i == hi) {
+          deflated = i;
+          break;
+        }
+      }
+    }
+    if (deflated == hi) {
+      --hi;
+      continue;
+    }
+    // Find the active block [lo, hi].
+    int lo = hi;
+    while (lo > 0 && a(lo, lo - 1) != Cplx(0, 0)) --lo;
+    // Wilkinson shift from the trailing 2x2 of the active block.
+    const Cplx h00 = a(hi - 1, hi - 1), h01 = a(hi - 1, hi);
+    const Cplx h10 = a(hi, hi - 1), h11 = a(hi, hi);
+    const Cplx tr = h00 + h11;
+    const Cplx dt = h00 * h11 - h01 * h10;
+    const Cplx disc = std::sqrt(tr * tr - 4.0 * dt);
+    const Cplx l1 = 0.5 * (tr + disc), l2 = 0.5 * (tr - disc);
+    const Cplx shift = std::abs(l1 - h11) < std::abs(l2 - h11) ? l1 : l2;
+    // One implicit single-shift QR sweep on [lo, hi] via Givens rotations.
+    // First rotation annihilates (a(lo,lo)-shift, a(lo+1,lo)).
+    Cplx x = a(lo, lo) - shift;
+    Cplx y = a(lo + 1, lo);
+    for (int k = lo; k < hi; ++k) {
+      // Givens rotation G zeroing y against x.
+      const double denom = std::sqrt(std::norm(x) + std::norm(y));
+      Cplx c(1, 0), s(0, 0);
+      if (denom > 0) {
+        c = std::conj(x) / denom;
+        s = std::conj(y) / denom;
+      }
+      // Apply G on the left to rows k, k+1.
+      for (int j = std::max(0, k - 1); j < n; ++j) {
+        const Cplx t1 = a(k, j), t2 = a(k + 1, j);
+        a(k, j) = c * t1 + s * t2;
+        a(k + 1, j) = -std::conj(s) * t1 + std::conj(c) * t2;
+      }
+      // Apply G^H on the right to columns k, k+1.
+      for (int i = 0; i <= std::min(n - 1, k + 2); ++i) {
+        const Cplx t1 = a(i, k), t2 = a(i, k + 1);
+        a(i, k) = t1 * std::conj(c) + t2 * std::conj(s);
+        a(i, k + 1) = -t1 * s + t2 * c;
+      }
+      for (int i = 0; i < n; ++i) {
+        const Cplx t1 = q(i, k), t2 = q(i, k + 1);
+        q(i, k) = t1 * std::conj(c) + t2 * std::conj(s);
+        q(i, k + 1) = -t1 * s + t2 * c;
+      }
+      if (k < hi - 1) {
+        x = a(k + 1, k);
+        y = a(k + 2, k);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+EigResult eig(const Matrix& a_in) {
+  const int n = a_in.rows();
+  LQCD_CHECK(a_in.cols() == n);
+  Matrix t = a_in, q;
+  hessenberg_reduce(t, q);
+  schur_qr(t, q);
+
+  EigResult res;
+  res.values.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) res.values[static_cast<std::size_t>(i)] = t(i, i);
+
+  // Eigenvectors of the triangular T by back substitution, then transform
+  // by Q.
+  Matrix vecs(n, n);
+  for (int j = 0; j < n; ++j) {
+    std::vector<Cplx> v(static_cast<std::size_t>(n), Cplx(0, 0));
+    v[static_cast<std::size_t>(j)] = Cplx(1, 0);
+    const Cplx lambda = t(j, j);
+    for (int i = j - 1; i >= 0; --i) {
+      Cplx acc(0, 0);
+      for (int k = i + 1; k <= j; ++k)
+        acc += t(i, k) * v[static_cast<std::size_t>(k)];
+      Cplx denom = lambda - t(i, i);
+      // Perturb exact ties (degenerate eigenvalues) to keep the solve
+      // finite; the subspace is still correct to working accuracy.
+      if (std::abs(denom) < 1e-300) denom = Cplx(1e-300, 0);
+      // (T v)_i = lambda v_i  =>  v_i = (sum_{k>i} T_ik v_k)/(lambda - T_ii).
+      v[static_cast<std::size_t>(i)] = acc / denom;
+    }
+    double nrm2 = 0;
+    for (const auto& z : v) nrm2 += std::norm(z);
+    const double nrm = std::sqrt(nrm2);
+    for (auto& z : v) z /= nrm;
+    for (int i = 0; i < n; ++i) {
+      Cplx acc(0, 0);
+      for (int k = 0; k <= j; ++k)
+        acc += q(i, k) * v[static_cast<std::size_t>(k)];
+      vecs(i, j) = acc;
+    }
+  }
+  res.vectors = vecs;
+  return res;
+}
+
+}  // namespace lqcd::densela

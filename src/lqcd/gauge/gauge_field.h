@@ -1,0 +1,114 @@
+// Gauge link fields U_mu(x).
+//
+// Links live on the bonds of the lattice: link(x, mu) is the SU(3) matrix
+// connecting site x to its forward neighbor in direction mu. Fermionic
+// antiperiodic boundary conditions in time are realized, as usual, by
+// flipping the sign of the t-links that cross the lattice boundary, so the
+// Dirac kernels never special-case the boundary.
+#pragma once
+
+#include <cstdint>
+
+#include "lqcd/base/aligned.h"
+#include "lqcd/base/rng.h"
+#include "lqcd/lattice/geometry.h"
+#include "lqcd/su3/su3.h"
+
+namespace lqcd {
+
+template <class T>
+class GaugeField {
+ public:
+  explicit GaugeField(const Geometry& geom)
+      : geom_(&geom),
+        links_(static_cast<std::size_t>(geom.volume()) * kNumDims) {
+    for (auto& u : links_) u.identity();
+  }
+
+  const Geometry& geometry() const noexcept { return *geom_; }
+
+  SU3<T>& link(std::int32_t site, int mu) noexcept {
+    return links_[static_cast<std::size_t>(site) * kNumDims +
+                  static_cast<std::size_t>(mu)];
+  }
+  const SU3<T>& link(std::int32_t site, int mu) const noexcept {
+    return links_[static_cast<std::size_t>(site) * kNumDims +
+                  static_cast<std::size_t>(mu)];
+  }
+
+  /// Flip the sign of every t-link that wraps around the time boundary
+  /// (antiperiodic fermion BC). Call once after generation.
+  void make_time_antiperiodic() {
+    constexpr int t_dir = 3;
+    const auto volume = geom_->volume();
+    for (std::int32_t s = 0; s < static_cast<std::int32_t>(volume); ++s) {
+      const Coord c = geom_->coord(s);
+      if (geom_->wraps_forward(c, t_dir))
+        link(s, t_dir) = Complex<T>(-1, 0) * link(s, t_dir);
+    }
+  }
+
+ private:
+  const Geometry* geom_;
+  AlignedVector<SU3<T>> links_;
+};
+
+/// Precision conversion (double master field -> float preconditioner copy).
+template <class TDst, class TSrc>
+GaugeField<TDst> convert(const GaugeField<TSrc>& src) {
+  GaugeField<TDst> dst(src.geometry());
+  const auto volume = src.geometry().volume();
+  for (std::int32_t s = 0; s < static_cast<std::int32_t>(volume); ++s)
+    for (int mu = 0; mu < kNumDims; ++mu)
+      for (int i = 0; i < kNumColors; ++i)
+        for (int j = 0; j < kNumColors; ++j)
+          dst.link(s, mu).m[i][j] =
+              Complex<TDst>(static_cast<TDst>(src.link(s, mu).m[i][j].real()),
+                            static_cast<TDst>(src.link(s, mu).m[i][j].imag()));
+  return dst;
+}
+
+/// Synthetic gauge configuration with tunable disorder.
+///
+/// disorder = 0 gives the free field (all links = 1); increasing disorder
+/// roughens the field, which raises the condition number of the Dirac
+/// operator the way approaching the physical point does for production
+/// configurations. This is our substitution for the paper's production
+/// lattices (DESIGN.md, Sec. 2). Deterministic in `seed`.
+template <class T>
+GaugeField<T> random_gauge_field(const Geometry& geom, double disorder,
+                                 std::uint64_t seed) {
+  GaugeField<T> u(geom);
+  Rng rng(seed);
+  const auto volume = geom.volume();
+  for (std::int32_t s = 0; s < static_cast<std::int32_t>(volume); ++s)
+    for (int mu = 0; mu < kNumDims; ++mu)
+      u.link(s, mu) = random_su3<T>(rng, disorder);
+  return u;
+}
+
+/// Average plaquette, Re tr(P) / 3 averaged over all 6 planes and the
+/// volume. 1 for the free field; decreases with disorder.
+template <class T>
+double average_plaquette(const GaugeField<T>& u) {
+  const Geometry& g = u.geometry();
+  const auto volume = g.volume();
+  double sum = 0;
+  std::int64_t count = 0;
+  for (std::int32_t s = 0; s < static_cast<std::int32_t>(volume); ++s) {
+    for (int mu = 0; mu < kNumDims; ++mu)
+      for (int nu = mu + 1; nu < kNumDims; ++nu) {
+        const std::int32_t smu = g.neighbor(s, mu, Dir::kForward);
+        const std::int32_t snu = g.neighbor(s, nu, Dir::kForward);
+        // P = U_mu(x) U_nu(x+mu) U_mu(x+nu)^dag U_nu(x)^dag
+        SU3<T> p = mul(u.link(s, mu), u.link(smu, nu));
+        p = mul_adj(p, u.link(snu, mu));
+        p = mul_adj(p, u.link(s, nu));
+        sum += static_cast<double>(trace(p).real()) / kNumColors;
+        ++count;
+      }
+  }
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace lqcd

@@ -1,0 +1,102 @@
+// Quenched gauge-field generation: Metropolis updates of the Wilson
+// plaquette action S = -beta/3 sum_P Re tr P.
+//
+// This provides physically equilibrated SU(3) configurations (the
+// substitute for the paper's production ensembles, DESIGN.md Sec. 2):
+// beta controls the lattice coarseness exactly as in real simulations —
+// large beta gives smooth fields near unity, beta -> 0 gives strong
+// disorder. The Markov-chain structure also powers the "data generation"
+// use-case example (one solve per configuration in the chain).
+#pragma once
+
+#include <cstdint>
+
+#include "lqcd/gauge/gauge_field.h"
+
+namespace lqcd {
+
+/// Sum of the six staples around link (x, mu), in the convention where
+/// the sum of Re tr over the six plaquettes containing the link equals
+/// Re tr[ U_mu(x) S(x,mu) ]:
+///   S(x,mu) = sum_{nu != mu} [ U_nu(x+mu) U_mu(x+nu)^dag U_nu(x)^dag
+///                            + U_nu(x+mu-nu)^dag U_mu(x-nu)^dag U_nu(x-nu) ].
+template <class T>
+SU3<T> staple_sum(const GaugeField<T>& u, std::int32_t x, int mu) {
+  const Geometry& g = u.geometry();
+  SU3<T> acc;
+  acc.zero();
+  const std::int32_t xpm = g.neighbor(x, mu, Dir::kForward);
+  for (int nu = 0; nu < kNumDims; ++nu) {
+    if (nu == mu) continue;
+    const std::int32_t xpn = g.neighbor(x, nu, Dir::kForward);
+    const std::int32_t xmn = g.neighbor(x, nu, Dir::kBackward);
+    const std::int32_t xpm_mn = g.neighbor(xpm, nu, Dir::kBackward);
+    // Upper staple.
+    SU3<T> up = mul_adj(u.link(xpm, nu), u.link(xpn, mu));
+    up = mul_adj(up, u.link(x, nu));
+    // Lower staple.
+    SU3<T> dn = adj_mul(u.link(xpm_mn, nu), adjoint(u.link(xmn, mu)));
+    dn = mul(dn, u.link(xmn, nu));
+    acc = acc + up + dn;
+  }
+  return acc;
+}
+
+struct MetropolisParams {
+  double beta = 5.7;        ///< Wilson gauge coupling
+  double step_size = 0.25;  ///< magnitude of the proposal exp(eps H) U
+  int hits_per_link = 3;    ///< Metropolis hits per link per sweep
+};
+
+struct MetropolisStats {
+  std::int64_t proposals = 0;
+  std::int64_t accepted = 0;
+  double acceptance() const noexcept {
+    return proposals > 0 ? static_cast<double>(accepted) / proposals : 0.0;
+  }
+};
+
+/// One Metropolis sweep over all links. Returns acceptance statistics.
+/// Deterministic given the Rng state.
+template <class T>
+MetropolisStats metropolis_sweep(GaugeField<T>& u,
+                                 const MetropolisParams& params, Rng& rng) {
+  const Geometry& g = u.geometry();
+  MetropolisStats stats;
+  const double beta_over_nc = params.beta / kNumColors;
+  for (std::int32_t x = 0; x < g.volume(); ++x) {
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      const SU3<T> staple = staple_sum(u, x, mu);
+      for (int hit = 0; hit < params.hits_per_link; ++hit) {
+        const SU3<T> old_link = u.link(x, mu);
+        const SU3<T> proposal =
+            mul(expm(random_antihermitian<T>(rng, params.step_size)),
+                old_link);
+        // dS = -beta/3 Re tr[(U' - U) S].
+        const SU3<T> diff = proposal - old_link;
+        const double re_tr =
+            static_cast<double>(trace(mul(diff, staple)).real());
+        const double delta_s = -beta_over_nc * re_tr;
+        ++stats.proposals;
+        if (delta_s <= 0.0 || rng.uniform() < std::exp(-delta_s)) {
+          u.link(x, mu) = proposal;
+          ++stats.accepted;
+        }
+      }
+      // Keep the link exactly on the group despite accumulated rounding.
+      u.link(x, mu) = reunitarize(u.link(x, mu));
+    }
+  }
+  return stats;
+}
+
+/// Equilibrate a configuration from a cold (unit) start. Returns the
+/// average plaquette after the final sweep.
+template <class T>
+double equilibrate(GaugeField<T>& u, const MetropolisParams& params,
+                   Rng& rng, int sweeps) {
+  for (int s = 0; s < sweeps; ++s) metropolis_sweep(u, params, rng);
+  return average_plaquette(u);
+}
+
+}  // namespace lqcd

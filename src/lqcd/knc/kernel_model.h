@@ -1,0 +1,82 @@
+// Single-core kernel timing model.
+//
+// Time on a KNC core decomposes into
+//   cycles = flops / effective_flops_per_cycle        (instruction bound)
+//          + l2_bytes * l2_stall_cycles_per_byte      (L2-resident data)
+//          + mem_bytes * mem_stall_cycles_per_byte    (main-memory data)
+// with stall costs depending on the software-prefetch mode (paper
+// Sec. III-B / Table II). The two stall parameters per mode are calibrated
+// once against the paper's published Table II single-core measurements;
+// everything else (flops, bytes) is computed exactly from the algorithm.
+//
+// Calibration notes (see bench_table2):
+//  * no software prefetch:   L2 data costs ~0.30 cycles/byte (exposed
+//    L1-miss latency), memory streams at ~0.75 cycles/byte via the
+//    hardware L2 streamer.
+//  * L1 software prefetch:   L2 cost drops to ~0.135 cycles/byte; memory
+//    unchanged.
+//  * L1+L2 software prefetch: memory cost drops to ~0.50 cycles/byte
+//    (interleaved L2 prefetches, Sec. III-B), close to the 0.44
+//    cycles/byte bandwidth bound of 150 GB/s across 60 cores.
+#pragma once
+
+#include "lqcd/knc/machine.h"
+
+namespace lqcd::knc {
+
+enum class PrefetchMode { kNone, kL1, kL1L2 };
+
+/// Work descriptor of one kernel execution on one core.
+struct KernelWork {
+  double flops = 0;      ///< useful floating-point operations
+  double l2_bytes = 0;   ///< bytes touched that live in the L2 working set
+  double mem_bytes = 0;  ///< bytes streamed from/to main memory
+};
+
+struct KernelModelParams {
+  double l2_stall_cpb_none = 0.30;
+  double l2_stall_cpb_prefetch = 0.135;
+  double mem_stall_cpb_none = 0.75;
+  double mem_stall_cpb_l1 = 0.75;
+  double mem_stall_cpb_l1l2 = 0.50;
+};
+
+class KernelModel {
+ public:
+  explicit KernelModel(const KncSpec& spec = {},
+                       const KernelModelParams& params = {})
+      : spec_(spec), params_(params) {}
+
+  const KncSpec& spec() const noexcept { return spec_; }
+
+  double cycles(const KernelWork& w, PrefetchMode mode) const noexcept {
+    const double flop_cycles = w.flops / spec_.effective_sp_flops_per_cycle();
+    const double l2_cpb = mode == PrefetchMode::kNone
+                              ? params_.l2_stall_cpb_none
+                              : params_.l2_stall_cpb_prefetch;
+    double mem_cpb = params_.mem_stall_cpb_none;
+    if (mode == PrefetchMode::kL1) mem_cpb = params_.mem_stall_cpb_l1;
+    if (mode == PrefetchMode::kL1L2) mem_cpb = params_.mem_stall_cpb_l1l2;
+    // Memory can never stream faster than the bandwidth share of a core.
+    const double bw_floor = 1.0 / spec_.mem_bytes_per_cycle_per_core();
+    if (mem_cpb < bw_floor) mem_cpb = bw_floor;
+    return flop_cycles + w.l2_bytes * l2_cpb + w.mem_bytes * mem_cpb;
+  }
+
+  double seconds_per_core(const KernelWork& w,
+                          PrefetchMode mode) const noexcept {
+    return cycles(w, mode) / (spec_.freq_ghz * 1e9);
+  }
+
+  /// Sustained Gflop/s of one core running this kernel repeatedly.
+  double gflops_per_core(const KernelWork& w,
+                         PrefetchMode mode) const noexcept {
+    return w.flops / cycles(w, mode) * spec_.freq_ghz;
+  }
+
+ private:
+  KncSpec spec_;
+  KernelModelParams params_;
+};
+
+}  // namespace lqcd::knc

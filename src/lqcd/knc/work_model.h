@@ -1,0 +1,146 @@
+// Analytic work descriptors for the DD algorithm's kernels.
+//
+// These formulas mirror, operation for operation, the instrumented
+// counters of SchwarzPreconditioner (tests assert the match), so that
+// paper-scale lattices — far too large to execute numerically here — can
+// be fed to the machine model with *exact* flop and byte counts.
+#pragma once
+
+#include <cstdint>
+
+#include "lqcd/knc/kernel_model.h"
+#include "lqcd/lattice/geometry.h"
+
+namespace lqcd::knc {
+
+/// Work of one Schwarz block solve (Idomain MR iterations with even-odd
+/// preconditioning + Schur RHS + odd reconstruction + boundary packing)
+/// on one `block`-shaped domain.
+struct BlockSolveWork {
+  double flops = 0;
+  double l2_bytes_per_schur = 0;  ///< working-set traffic per Schur apply
+  double matrix_bytes = 0;        ///< links+clover storage (precision-dep.)
+  double pack_bytes = 0;          ///< boundary buffer bytes produced
+  double working_set_bytes = 0;   ///< matrices + the 7 resident spinors
+  KernelWork kernel;              ///< aggregated descriptor for the model
+};
+
+inline std::int64_t block_volume(const Coord& block) noexcept {
+  return std::int64_t{1} * block[0] * block[1] * block[2] * block[3];
+}
+
+/// Directed in-domain hops from the sites of one parity (the count behind
+/// each half-dslash; 168 flops per hop).
+inline std::int64_t block_hops_per_parity(const Coord& block) noexcept {
+  const std::int64_t vd = block_volume(block);
+  std::int64_t crossing = 0;
+  for (int mu = 0; mu < kNumDims; ++mu)
+    crossing += vd / block[static_cast<std::size_t>(mu)];
+  return 8 * (vd / 2) - crossing;
+}
+
+inline std::int64_t block_face_sites(const Coord& block) noexcept {
+  const std::int64_t vd = block_volume(block);
+  std::int64_t faces = 0;
+  for (int mu = 0; mu < kNumDims; ++mu)
+    faces += 2 * (vd / block[static_cast<std::size_t>(mu)]);
+  return faces;
+}
+
+/// Flops of one Schur-complement application on the block (matches
+/// SchwarzPreconditioner::schur_flops()).
+inline double block_schur_flops(const Coord& block) noexcept {
+  const double vd = static_cast<double>(block_volume(block));
+  const double hops = static_cast<double>(block_hops_per_parity(block));
+  return 168.0 * 2.0 * hops + vd * 504.0 / 2.0 * 2.0 + (vd / 2.0) * 24.0;
+}
+
+inline BlockSolveWork block_solve_work(const Coord& block, int idomain,
+                                       bool half_matrices) noexcept {
+  BlockSolveWork w;
+  const double vd = static_cast<double>(block_volume(block));
+  const double hv = vd / 2.0;
+  const double hops = static_cast<double>(block_hops_per_parity(block));
+  const double faces = static_cast<double>(block_face_sites(block));
+  const double spinor_site_bytes = 96.0;  // 24 floats
+  const double matrix_scalar = half_matrices ? 2.0 : 4.0;
+
+  const double schur = block_schur_flops(block);
+  const double mr_iter = schur + hv * 24.0 * 3.0 /* dots */ +
+                         hv * 24.0 * 4.0 /* axpys */;
+  const double rhs = hv * 504.0 + 168.0 * hops + hv * 24.0;
+  const double reconstruct = 168.0 * hops + hv * (504.0 + 24.0);
+  const double pack = faces / 2.0 * (12.0 + 132.0) + faces / 2.0 * 12.0;
+  // R-coupling insertion on the consumer side (per producing domain):
+  // forward-face data is reconstructed directly (48 flops/site), the
+  // backward-face data is link-multiplied first (132 + 48 flops/site).
+  const double consume = faces / 2.0 * 48.0 + faces / 2.0 * 180.0;
+  w.flops = idomain * mr_iter + rhs + reconstruct + pack + consume;
+
+  // L2 working-set traffic per Schur apply: the matrices plus ~4
+  // half-volume spinor streams.
+  w.matrix_bytes = vd * (72.0 + 72.0) * matrix_scalar;
+  w.l2_bytes_per_schur = w.matrix_bytes + 4.0 * hv * spinor_site_bytes;
+  w.pack_bytes = faces * spinor_site_bytes / 2.0;  // half-spinors: 48 B
+
+  w.kernel.flops = w.flops;
+  // The matrices (and spinor temporaries) are touched once per Schur
+  // apply: Idomain MR iterations plus the RHS preparation and the odd
+  // reconstruction, each of which performs one matrix sweep.
+  w.kernel.l2_bytes = (idomain + 2.0) * w.l2_bytes_per_schur;
+  // Streamed from memory once per block solve: the matrices plus the
+  // residual gather and the u/r/z writes, plus the packed buffers.
+  w.kernel.mem_bytes =
+      w.matrix_bytes + 3.0 * vd * spinor_site_bytes + w.pack_bytes;
+  w.working_set_bytes = w.matrix_bytes + 7.0 * hv * spinor_site_bytes;
+  return w;
+}
+
+/// Cache-capacity correction (the reason the paper picks 8x4^3 blocks,
+/// Sec. III-B): when the block's working set exceeds the per-core L2
+/// partition, the "L2-resident" traffic actually streams from main
+/// memory every Schur application.
+inline KernelWork apply_cache_capacity(KernelWork w,
+                                       double working_set_bytes,
+                                       double l2_capacity_bytes) noexcept {
+  if (working_set_bytes > l2_capacity_bytes) {
+    w.mem_bytes += w.l2_bytes;
+    w.l2_bytes = 0;
+  }
+  return w;
+}
+
+/// Work of one MR iteration alone (the "MR iteration" rows of Table II):
+/// runs from L2, no memory traffic.
+inline KernelWork mr_iteration_work(const Coord& block,
+                                    bool half_matrices) noexcept {
+  const BlockSolveWork bw = block_solve_work(block, 1, half_matrices);
+  KernelWork w;
+  const double hv = block_volume(block) / 2.0;
+  w.flops = block_schur_flops(block) + hv * 24.0 * 7.0;
+  w.l2_bytes = bw.l2_bytes_per_schur;
+  w.mem_bytes = 0;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Core-count scaling (paper Eqs. 6 and 7).
+// ---------------------------------------------------------------------------
+
+/// Eq. 6: domains processable in parallel (one color of the multiplicative
+/// checkerboarding) for local volume V and block volume Vd.
+inline std::int64_t ndomain_per_color(std::int64_t local_volume,
+                                      const Coord& block) noexcept {
+  return local_volume / (2 * block_volume(block));
+}
+
+/// Eq. 7: average load of `cores` cores processing `ndomain` domains
+/// round-robin.
+inline double core_load(std::int64_t ndomain, int cores) noexcept {
+  if (ndomain <= 0) return 0.0;
+  const std::int64_t rounds = (ndomain + cores - 1) / cores;
+  return static_cast<double>(ndomain) /
+         (static_cast<double>(cores) * static_cast<double>(rounds));
+}
+
+}  // namespace lqcd::knc

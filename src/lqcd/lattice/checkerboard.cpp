@@ -1,0 +1,21 @@
+#include "lqcd/lattice/checkerboard.h"
+
+namespace lqcd {
+
+Checkerboard::Checkerboard(const Geometry& geom) {
+  const auto volume = geom.volume();
+  half_volume_ = volume / 2;
+  cb_of_full_.resize(static_cast<std::size_t>(volume));
+  full_of_even_.reserve(static_cast<std::size_t>(half_volume_));
+  full_of_odd_.reserve(static_cast<std::size_t>(half_volume_));
+  for (std::int32_t i = 0; i < static_cast<std::int32_t>(volume); ++i) {
+    auto& list = geom.parity(i) == 0 ? full_of_even_ : full_of_odd_;
+    cb_of_full_[static_cast<std::size_t>(i)] =
+        static_cast<std::int32_t>(list.size());
+    list.push_back(i);
+  }
+  LQCD_CHECK(static_cast<std::int64_t>(full_of_even_.size()) == half_volume_);
+  LQCD_CHECK(static_cast<std::int64_t>(full_of_odd_.size()) == half_volume_);
+}
+
+}  // namespace lqcd

@@ -1,0 +1,45 @@
+// Even–odd (red–black) checkerboarding of the lattice.
+//
+// Even–odd preconditioning (paper Eq. 5) reorders the sites so that the
+// site-diagonal part of the Wilson–Clover operator decouples into the two
+// parities. This class provides the index maps between the full
+// lexicographic ordering and the per-parity compact ordering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lqcd/lattice/geometry.h"
+
+namespace lqcd {
+
+class Checkerboard {
+ public:
+  explicit Checkerboard(const Geometry& geom);
+
+  std::int64_t half_volume() const noexcept { return half_volume_; }
+
+  /// Compact index of a full-lattice site within its own parity,
+  /// in [0, half_volume).
+  std::int32_t cb_index(std::int32_t full_idx) const noexcept {
+    return cb_of_full_[static_cast<std::size_t>(full_idx)];
+  }
+
+  /// Full-lattice index of the cb-th site of the given parity.
+  std::int32_t full_index(int parity, std::int32_t cb_idx) const noexcept {
+    return parity == 0 ? full_of_even_[static_cast<std::size_t>(cb_idx)]
+                       : full_of_odd_[static_cast<std::size_t>(cb_idx)];
+  }
+
+  const std::vector<std::int32_t>& sites(int parity) const noexcept {
+    return parity == 0 ? full_of_even_ : full_of_odd_;
+  }
+
+ private:
+  std::int64_t half_volume_ = 0;
+  std::vector<std::int32_t> cb_of_full_;
+  std::vector<std::int32_t> full_of_even_;
+  std::vector<std::int32_t> full_of_odd_;
+};
+
+}  // namespace lqcd

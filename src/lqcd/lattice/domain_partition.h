@@ -1,0 +1,124 @@
+// Decomposition of the lattice into rectangular domains (Schwarz blocks).
+//
+// The lattice is tiled by identical blocks (default 8x4x4x4, the paper's
+// L2-resident choice, Sec. III-B). Domains are two-colored like a
+// checkerboard of blocks — the multiplicative Schwarz method alternates
+// between the colors, and within one color all block solves are
+// independent (paper Sec. III-D).
+//
+// Because every domain has the same block shape and an even-aligned
+// origin, the local site ordering (even sites first, then odd — matching
+// the global parity) and the local neighbor table are shared by all
+// domains; only the local->global site map is per-domain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lqcd/lattice/geometry.h"
+
+namespace lqcd {
+
+class DomainPartition {
+ public:
+  /// Each lattice dimension must be divisible by the block extent, and the
+  /// resulting domain-grid extent must be even (required for two-coloring
+  /// of the multiplicative method, as in Lüscher's SAP).
+  DomainPartition(const Geometry& geom, const Coord& block);
+
+  const Geometry& geometry() const noexcept { return *geom_; }
+  const Coord& block() const noexcept { return block_; }
+  const Coord& grid() const noexcept { return grid_; }
+
+  int num_domains() const noexcept { return num_domains_; }
+  std::int32_t domain_volume() const noexcept { return block_volume_; }
+  std::int32_t domain_half_volume() const noexcept {
+    return block_volume_ / 2;
+  }
+
+  /// Two-coloring: 0 (black) or 1 (white).
+  int color(int domain) const noexcept {
+    return colors_[static_cast<std::size_t>(domain)];
+  }
+  const std::vector<int>& domains_of_color(int color) const noexcept {
+    return by_color_[static_cast<std::size_t>(color)];
+  }
+
+  /// Global (full-lattice) site index of local site `l` of `domain`.
+  /// Local ordering: even parity sites first (lexicographic in local
+  /// coords), then odd.
+  std::int32_t global_site(int domain, std::int32_t l) const noexcept {
+    return sites_[static_cast<std::size_t>(domain) *
+                      static_cast<std::size_t>(block_volume_) +
+                  static_cast<std::size_t>(l)];
+  }
+
+  /// Local neighbor of local site l in direction (mu, dir), or -1 when the
+  /// hop crosses the domain boundary. Shared by all domains.
+  std::int32_t local_neighbor(std::int32_t l, int mu, Dir dir) const noexcept {
+    const std::size_t base = static_cast<std::size_t>(l) * 2 * kNumDims +
+                             static_cast<std::size_t>(mu) * 2;
+    return local_nbr_[base + (dir == Dir::kForward ? 0 : 1)];
+  }
+
+  /// Domain that owns a full-lattice site, and its local index there.
+  int domain_of_site(std::int32_t full) const noexcept {
+    return site_domain_[static_cast<std::size_t>(full)];
+  }
+  std::int32_t local_of_site(std::int32_t full) const noexcept {
+    return site_local_[static_cast<std::size_t>(full)];
+  }
+
+  /// Neighbor domain in direction (mu, dir) (periodic in the domain grid).
+  int neighbor_domain(int domain, int mu, Dir dir) const noexcept {
+    const std::size_t base = static_cast<std::size_t>(domain) * 2 * kNumDims +
+                             static_cast<std::size_t>(mu) * 2;
+    return domain_nbr_[base + (dir == Dir::kForward ? 0 : 1)];
+  }
+
+  /// Local indices of the sites on a face of the block: face(mu, fwd) is
+  /// the x_mu == block_mu - 1 plane, face(mu, bwd) the x_mu == 0 plane.
+  /// Shared by all domains.
+  const std::vector<std::int32_t>& face_sites(int mu, Dir dir) const noexcept {
+    return faces_[static_cast<std::size_t>(mu) * 2 +
+                  (dir == Dir::kForward ? 0 : 1)];
+  }
+
+  /// Number of sites on a (mu) face.
+  std::int32_t face_size(int mu) const noexcept {
+    return static_cast<std::int32_t>(
+        faces_[static_cast<std::size_t>(mu) * 2].size());
+  }
+
+  /// Block-local coordinate of a local site index (shared by all domains).
+  const Coord& local_coord(std::int32_t l) const noexcept {
+    return local_coord_[static_cast<std::size_t>(l)];
+  }
+
+  /// Local site index of a block-local coordinate.
+  std::int32_t local_index(const Coord& c) const noexcept {
+    const int lex =
+        c[0] + block_[0] * (c[1] + block_[1] * (c[2] + block_[2] * c[3]));
+    return local_of_lex_[static_cast<std::size_t>(lex)];
+  }
+
+ private:
+  const Geometry* geom_;
+  Coord block_{};
+  Coord grid_{};
+  int num_domains_ = 0;
+  std::int32_t block_volume_ = 0;
+
+  std::vector<Coord> local_coord_;        // [local] -> block coords
+  std::vector<std::int32_t> local_of_lex_;  // [block lex] -> local
+  std::vector<std::int32_t> sites_;       // [domain][local] -> global
+  std::vector<std::int32_t> local_nbr_;   // [local][mu][dir] -> local or -1
+  std::vector<int> colors_;               // [domain]
+  std::vector<std::vector<int>> by_color_;
+  std::vector<int> site_domain_;          // [global] -> domain
+  std::vector<std::int32_t> site_local_;  // [global] -> local
+  std::vector<int> domain_nbr_;           // [domain][mu][dir] -> domain
+  std::vector<std::vector<std::int32_t>> faces_;  // [mu*2+dirbit] -> locals
+};
+
+}  // namespace lqcd

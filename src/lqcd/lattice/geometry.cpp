@@ -1,0 +1,34 @@
+#include "lqcd/lattice/geometry.h"
+
+namespace lqcd {
+
+Geometry::Geometry(const Coord& dims) : dims_(dims) {
+  volume_ = 1;
+  for (int mu = 0; mu < kNumDims; ++mu) {
+    LQCD_CHECK_MSG(dims_[static_cast<size_t>(mu)] >= 2,
+                   "lattice dimension " << mu << " must be >= 2");
+    LQCD_CHECK_MSG(dims_[static_cast<size_t>(mu)] % 2 == 0,
+                   "lattice dimension " << mu
+                                        << " must be even for checkerboarding");
+    volume_ *= dims_[static_cast<size_t>(mu)];
+  }
+  LQCD_CHECK_MSG(volume_ <= INT32_MAX, "lattice volume exceeds 32-bit indexing");
+
+  const auto v = static_cast<std::size_t>(volume_);
+  fwd_.resize(v * kNumDims);
+  bwd_.resize(v * kNumDims);
+  parity_.resize(v);
+  for (std::int32_t i = 0; i < static_cast<std::int32_t>(volume_); ++i) {
+    const Coord c = coord(i);
+    parity_[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(parity(c));
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      fwd_[static_cast<std::size_t>(i) * kNumDims + mu] =
+          index(shift(c, mu, Dir::kForward));
+      bwd_[static_cast<std::size_t>(i) * kNumDims + mu] =
+          index(shift(c, mu, Dir::kBackward));
+    }
+  }
+}
+
+}  // namespace lqcd

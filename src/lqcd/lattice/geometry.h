@@ -1,0 +1,91 @@
+// 4-dimensional periodic lattice geometry: site indexing, parity,
+// neighbor tables.
+//
+// Conventions (match the paper, Sec. II-B): the lattice has dimensions
+// Lx × Ly × Lz × Lt; directions are numbered mu = 0..3 = (x, y, z, t).
+// Sites are indexed lexicographically, x fastest:
+//   index = x + Lx * (y + Ly * (z + Lz * t)).
+// All boundary conditions at the geometry level are periodic; fermionic
+// antiperiodicity in time is carried by the gauge field (phase on the
+// t-links), as is standard in lattice QCD codes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "lqcd/base/constants.h"
+#include "lqcd/base/error.h"
+
+namespace lqcd {
+
+/// Site coordinate. Components are in [0, L_mu).
+using Coord = std::array<int, kNumDims>;
+
+/// Hop direction along an axis.
+enum class Dir : int { kBackward = -1, kForward = +1 };
+
+class Geometry {
+ public:
+  /// Construct a lattice of the given dimensions. All dims must be >= 2
+  /// (a periodic dimension of 1 would alias a site with its own neighbor)
+  /// and even (required by even–odd checkerboarding).
+  explicit Geometry(const Coord& dims);
+
+  const Coord& dims() const noexcept { return dims_; }
+  int dim(int mu) const noexcept { return dims_[static_cast<size_t>(mu)]; }
+  std::int64_t volume() const noexcept { return volume_; }
+
+  /// Lexicographic site index of a coordinate.
+  std::int32_t index(const Coord& c) const noexcept {
+    return static_cast<std::int32_t>(
+        c[0] + dims_[0] * (c[1] + dims_[1] * (c[2] + dims_[2] * c[3])));
+  }
+
+  /// Coordinate of a lexicographic site index.
+  Coord coord(std::int32_t idx) const noexcept {
+    Coord c;
+    c[0] = idx % dims_[0];
+    idx /= dims_[0];
+    c[1] = idx % dims_[1];
+    idx /= dims_[1];
+    c[2] = idx % dims_[2];
+    c[3] = idx / dims_[2];
+    return c;
+  }
+
+  /// Checkerboard parity of a site: 0 = even, 1 = odd.
+  int parity(const Coord& c) const noexcept {
+    return (c[0] + c[1] + c[2] + c[3]) & 1;
+  }
+  int parity(std::int32_t idx) const noexcept { return parity_[idx]; }
+
+  /// Periodic nearest neighbor (precomputed).
+  std::int32_t neighbor(std::int32_t idx, int mu, Dir dir) const noexcept {
+    return dir == Dir::kForward ? fwd_[static_cast<size_t>(idx) * kNumDims + mu]
+                                : bwd_[static_cast<size_t>(idx) * kNumDims + mu];
+  }
+
+  /// Coordinate arithmetic with periodic wrap-around.
+  Coord shift(Coord c, int mu, Dir dir) const noexcept {
+    const int L = dims_[static_cast<size_t>(mu)];
+    c[static_cast<size_t>(mu)] =
+        (c[static_cast<size_t>(mu)] + static_cast<int>(dir) + L) % L;
+    return c;
+  }
+
+  /// True if a forward hop from `c` in direction mu wraps around the
+  /// lattice (needed for boundary phases).
+  bool wraps_forward(const Coord& c, int mu) const noexcept {
+    return c[static_cast<size_t>(mu)] + 1 == dims_[static_cast<size_t>(mu)];
+  }
+
+ private:
+  Coord dims_{};
+  std::int64_t volume_ = 0;
+  std::vector<std::int32_t> fwd_;  // volume * 4 forward neighbors
+  std::vector<std::int32_t> bwd_;  // volume * 4 backward neighbors
+  std::vector<std::uint8_t> parity_;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,148 @@
+// BLAS-level-1 operations on fermion fields.
+//
+// These are the "BLAS-type linear algebra" lines of the paper's algorithm
+// listing (Table I): axpy-like updates in the MR block solve and
+// dot-products / Gram–Schmidt in the outer solver. Reductions accumulate
+// in double regardless of the field precision — the outer solver relies
+// on accurate residual norms.
+#pragma once
+
+#include <cmath>
+#include <complex>
+
+#include "lqcd/linalg/fermion_field.h"
+
+#if defined(LQCD_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace lqcd {
+
+template <class T>
+void copy(const FermionField<T>& x, FermionField<T>& y) {
+  LQCD_CHECK(x.size() == y.size());
+  const std::int64_t n = x.size();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) y[i] = x[i];
+}
+
+/// Precision-converting copy (e.g. double outer vector -> float
+/// preconditioner input).
+template <class TSrc, class TDst>
+void convert(const FermionField<TSrc>& x, FermionField<TDst>& y) {
+  LQCD_CHECK(x.size() == y.size());
+  const std::int64_t n = x.size();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i)
+    for (int sp = 0; sp < kNumSpins; ++sp)
+      for (int c = 0; c < kNumColors; ++c)
+        y[i].s[sp].c[c] =
+            Complex<TDst>(static_cast<TDst>(x[i].s[sp].c[c].real()),
+                          static_cast<TDst>(x[i].s[sp].c[c].imag()));
+}
+
+/// y += a x.
+template <class T>
+void axpy(const Complex<T>& a, const FermionField<T>& x, FermionField<T>& y) {
+  LQCD_CHECK(x.size() == y.size());
+  const std::int64_t n = x.size();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i)
+    for (int sp = 0; sp < kNumSpins; ++sp)
+      for (int c = 0; c < kNumColors; ++c)
+        y[i].s[sp].c[c] += a * x[i].s[sp].c[c];
+}
+
+template <class T>
+void axpy(T a, const FermionField<T>& x, FermionField<T>& y) {
+  axpy(Complex<T>(a, 0), x, y);
+}
+
+/// y = a x + y ... with separate output: z = a x + y.
+template <class T>
+void axpyz(const Complex<T>& a, const FermionField<T>& x,
+           const FermionField<T>& y, FermionField<T>& z) {
+  LQCD_CHECK(x.size() == y.size() && y.size() == z.size());
+  const std::int64_t n = x.size();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i)
+    for (int sp = 0; sp < kNumSpins; ++sp)
+      for (int c = 0; c < kNumColors; ++c)
+        z[i].s[sp].c[c] = a * x[i].s[sp].c[c] + y[i].s[sp].c[c];
+}
+
+/// x *= a.
+template <class T>
+void scal(const Complex<T>& a, FermionField<T>& x) {
+  const std::int64_t n = x.size();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i)
+    for (int sp = 0; sp < kNumSpins; ++sp)
+      for (int c = 0; c < kNumColors; ++c) x[i].s[sp].c[c] *= a;
+}
+
+template <class T>
+void scal(T a, FermionField<T>& x) {
+  scal(Complex<T>(a, 0), x);
+}
+
+/// <x|y> = sum_i conj(x_i) y_i, accumulated in double.
+template <class T>
+std::complex<double> dot(const FermionField<T>& x, const FermionField<T>& y) {
+  LQCD_CHECK(x.size() == y.size());
+  const std::int64_t n = x.size();
+  double re = 0, im = 0;
+#pragma omp parallel for schedule(static) reduction(+ : re, im)
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (int sp = 0; sp < kNumSpins; ++sp)
+      for (int c = 0; c < kNumColors; ++c) {
+        const auto& a = x[i].s[sp].c[c];
+        const auto& b = y[i].s[sp].c[c];
+        re += static_cast<double>(a.real()) * b.real() +
+              static_cast<double>(a.imag()) * b.imag();
+        im += static_cast<double>(a.real()) * b.imag() -
+              static_cast<double>(a.imag()) * b.real();
+      }
+  }
+  return {re, im};
+}
+
+/// ||x||^2, accumulated in double.
+template <class T>
+double norm2(const FermionField<T>& x) {
+  const std::int64_t n = x.size();
+  double acc = 0;
+#pragma omp parallel for schedule(static) reduction(+ : acc)
+  for (std::int64_t i = 0; i < n; ++i) acc += norm2(x[i]);
+  return acc;
+}
+
+template <class T>
+double norm(const FermionField<T>& x) {
+  return std::sqrt(norm2(x));
+}
+
+/// z = x - y.
+template <class T>
+void sub(const FermionField<T>& x, const FermionField<T>& y,
+         FermionField<T>& z) {
+  LQCD_CHECK(x.size() == y.size() && y.size() == z.size());
+  const std::int64_t n = x.size();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) z[i] = x[i] - y[i];
+}
+
+/// Fill with site-independent Gaussian noise (unit variance per real
+/// component), deterministic in `seed`.
+template <class T>
+void gaussian(FermionField<T>& x, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::int64_t n = x.size();
+  for (std::int64_t i = 0; i < n; ++i)
+    for (int sp = 0; sp < kNumSpins; ++sp)
+      for (int c = 0; c < kNumColors; ++c)
+        x[i].s[sp].c[c] = Complex<T>(static_cast<T>(rng.gaussian()),
+                                     static_cast<T>(rng.gaussian()));
+}
+
+}  // namespace lqcd

@@ -1,0 +1,53 @@
+// Fermion (spinor) fields: contiguous aligned arrays of site spinors.
+//
+// A field is just "n sites × 24 reals"; it is not tied to a Geometry so
+// the same container serves full-lattice vectors, single-parity (even/odd)
+// vectors, and per-domain vectors.
+#pragma once
+
+#include <cstdint>
+
+#include "lqcd/base/aligned.h"
+#include "lqcd/base/error.h"
+#include "lqcd/su3/spinor.h"
+
+namespace lqcd {
+
+template <class T>
+class FermionField {
+ public:
+  FermionField() = default;
+  explicit FermionField(std::int64_t num_sites)
+      : data_(static_cast<std::size_t>(num_sites)) {
+    LQCD_CHECK(num_sites >= 0);
+    zero();
+  }
+
+  std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(data_.size());
+  }
+
+  Spinor<T>& operator[](std::int64_t i) noexcept {
+    return data_[static_cast<std::size_t>(i)];
+  }
+  const Spinor<T>& operator[](std::int64_t i) const noexcept {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  Spinor<T>* data() noexcept { return data_.data(); }
+  const Spinor<T>* data() const noexcept { return data_.data(); }
+
+  void zero() noexcept {
+    for (auto& s : data_) s.zero();
+  }
+
+  /// Bytes of payload (24 reals per site).
+  std::int64_t bytes() const noexcept {
+    return size() * static_cast<std::int64_t>(sizeof(Spinor<T>));
+  }
+
+ private:
+  AlignedVector<Spinor<T>> data_;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,601 @@
+// Schwarz domain-decomposition preconditioner (the paper's core method).
+//
+// Implements Table I's inner loop: ISchwarz sweeps of the (multiplicative,
+// two-color, or additive) Schwarz method, where each block solve is
+// Idomain iterations of even-odd-preconditioned MR on the domain's
+// Dirichlet operator, entirely from the domain's packed storage.
+//
+// Key structural properties reproduced from the paper:
+//  * Domains are processed independently within a color — no global sums
+//    anywhere inside the preconditioner (Sec. II-D).
+//  * After the block solve the residual is EXACTLY zero on the domain's
+//    odd sites and equals the block-MR residual on the even sites, so the
+//    global residual is maintained without re-applying the full operator.
+//  * Inter-domain coupling (the R term of A = D + R) flows exclusively
+//    through packed AOS half-spinor boundary buffers (Fig. 3): the
+//    producing domain projects and packs while its data is hot; the
+//    consuming domain multiplies by its own link (backward faces) and
+//    reconstructs. In a multi-node run these same buffers are what is
+//    handed to MPI (Sec. III-A, III-E).
+//  * Gauge links and clover blocks are stored in storage scalar S — float
+//    or Half — while all arithmetic is float (Sec. III-B).
+#pragma once
+
+#include <cstring>
+
+#include "lqcd/dirac/wilson_clover.h"
+#include "lqcd/lattice/domain_partition.h"
+#include "lqcd/schwarz/storage.h"
+#include "lqcd/solver/linear_operator.h"
+
+#if defined(LQCD_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace lqcd {
+
+struct SchwarzParams {
+  /// ISchwarz: number of full Schwarz sweeps. One multiplicative sweep
+  /// solves ALL domains (black color phase, boundary exchange, then white
+  /// phase, boundary exchange) — matching Table I, where each s iteration
+  /// runs "the block solve on each domain".
+  int schwarz_iterations = 16;
+  int block_mr_iterations = 5;  ///< Idomain MR iterations per block solve
+  bool additive = false;        ///< additive instead of multiplicative
+  /// Paper Sec. VI (future work): store the preconditioner's SPINORS in
+  /// half precision too, shrinking the working set and the boundary
+  /// buffers further. Emulated by rounding the domain residual gather,
+  /// the correction, and the face buffers through IEEE binary16.
+  bool half_precision_spinors = false;
+};
+
+struct SchwarzStats {
+  std::int64_t applications = 0;   ///< M applications
+  std::int64_t block_solves = 0;
+  std::int64_t mr_iterations = 0;  ///< total block-MR iterations
+  std::int64_t flops = 0;          ///< floating-point ops executed
+  std::int64_t boundary_bytes = 0; ///< bytes written to face buffers
+
+  void reset() { *this = SchwarzStats{}; }
+};
+
+template <class S>
+class SchwarzPreconditioner final : public Preconditioner<float> {
+ public:
+  /// `op` must have prepare_schur() already called (the odd-site clover
+  /// inverses are copied into the packed domain storage). The partition
+  /// and operator must refer to the same geometry.
+  SchwarzPreconditioner(const DomainPartition& part,
+                        const WilsonCloverOperator<float>& op,
+                        const SchwarzParams& params)
+      : part_(&part), params_(params) {
+    LQCD_CHECK(&part.geometry() == &op.geometry());
+    LQCD_CHECK_MSG(op.clover().has_inverses(),
+                   "call prepare_schur() on the operator first");
+    const int nd = part.num_domains();
+    const std::int32_t vd = part.domain_volume();
+    const std::int32_t hv = part.domain_half_volume();
+
+    links_.resize(static_cast<std::size_t>(nd) * vd * kNumDims * kSU3Reals);
+    diag_e_.resize(static_cast<std::size_t>(nd) * hv * 2 * kCloverBlockReals);
+    inv_o_.resize(static_cast<std::size_t>(nd) * hv * 2 * kCloverBlockReals);
+
+    const auto& gauge = op.gauge();
+    const auto& clover = op.clover();
+    for (int d = 0; d < nd; ++d) {
+      for (std::int32_t l = 0; l < vd; ++l) {
+        const std::int32_t g = part.global_site(d, l);
+        for (int mu = 0; mu < kNumDims; ++mu)
+          store_su3(gauge.link(g, mu), link_ptr(d, l, mu));
+        if (l < hv) {
+          for (int chi = 0; chi < 2; ++chi)
+            store_block(clover.block(g, chi), diag_e_ptr(d, l, chi));
+        } else {
+          for (int chi = 0; chi < 2; ++chi)
+            store_block(clover.inv_block(g, chi),
+                        inv_o_ptr(d, l - hv, chi));
+        }
+      }
+    }
+
+    // Face buffer offsets. One buffer per domain face; a packed
+    // half-spinor is 12 reals (48 B in single precision) per site — the
+    // paper's Fig. 3: four sites fit three cache lines.
+    std::int64_t off = 0;
+    for (int mu = 0; mu < kNumDims; ++mu)
+      for (int dirbit = 0; dirbit < 2; ++dirbit) {
+        face_offset_[static_cast<std::size_t>(mu) * 2 +
+                     static_cast<std::size_t>(dirbit)] = off;
+        off += static_cast<std::int64_t>(part.face_size(mu)) * 12;
+      }
+    buffer_stride_ = off;
+    buffers_.resize(static_cast<std::size_t>(nd) * buffer_stride_);
+
+    // Partner map: producer face site -> consumer-local site index.
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      const auto mu_s = static_cast<std::size_t>(mu);
+      const auto& ffwd = part.face_sites(mu, Dir::kForward);
+      const auto& fbwd = part.face_sites(mu, Dir::kBackward);
+      partner_fwd_[mu_s].resize(ffwd.size());
+      partner_bwd_[mu_s].resize(fbwd.size());
+      for (std::size_t i = 0; i < ffwd.size(); ++i) {
+        Coord c = part.local_coord(ffwd[i]);
+        c[mu_s] = 0;  // consumer's backward face
+        partner_fwd_[mu_s][i] = part.local_index(c);
+      }
+      for (std::size_t i = 0; i < fbwd.size(); ++i) {
+        Coord c = part.local_coord(fbwd[i]);
+        c[mu_s] = part.block()[mu_s] - 1;  // consumer's forward face
+        partner_bwd_[mu_s][i] = part.local_index(c);
+      }
+    }
+
+    // Count the in-domain hops of one parity->other-parity half dslash,
+    // for flop accounting (168 flops per hop as in the paper's 1344/site
+    // full-stencil count).
+    hops_per_parity_ = 0;
+    for (std::int32_t l = hv; l < vd; ++l)
+      for (int mu = 0; mu < kNumDims; ++mu) {
+        if (part.local_neighbor(l, mu, Dir::kForward) >= 0) ++hops_per_parity_;
+        if (part.local_neighbor(l, mu, Dir::kBackward) >= 0)
+          ++hops_per_parity_;
+      }
+
+    int nthreads = 1;
+#if defined(LQCD_HAVE_OPENMP)
+    nthreads = omp_get_max_threads();
+#endif
+    scratch_.resize(static_cast<std::size_t>(nthreads));
+    for (auto& sc : scratch_) {
+      sc.r_loc = FermionField<float>(vd);
+      sc.z = FermionField<float>(vd);
+      sc.rhs_e = FermionField<float>(hv);
+      sc.mr_r = FermionField<float>(hv);
+      sc.mr_ar = FermionField<float>(hv);
+      sc.t1_o = FermionField<float>(hv);
+      sc.t2_o = FermionField<float>(hv);
+    }
+  }
+
+  const SchwarzStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+  const SchwarzParams& params() const noexcept { return params_; }
+  const DomainPartition& partition() const noexcept { return *part_; }
+
+  /// Per-domain working-set bytes of links + clover (+inverse clover)
+  /// storage — the quantity the paper fits into the 512 kB L2.
+  std::int64_t domain_matrix_bytes() const noexcept {
+    const std::int64_t vd = part_->domain_volume();
+    return vd * kNumDims * kSU3Reals * static_cast<std::int64_t>(sizeof(S)) +
+           vd * 2 * kCloverBlockReals * static_cast<std::int64_t>(sizeof(S));
+  }
+
+  /// u = M f: ISchwarz Schwarz sweeps starting from u = 0.
+  void apply(const FermionField<float>& f, FermionField<float>& u) override {
+    const auto volume = part_->geometry().volume();
+    LQCD_CHECK(f.size() == volume && u.size() == volume);
+    u.zero();
+    if (r_.size() != volume) r_ = FermionField<float>(volume);
+    copy(f, r_);
+    ++stats_.applications;
+
+    for (int s = 0; s < params_.schwarz_iterations; ++s) {
+      if (params_.additive) {
+        sweep_all_domains(u);
+        apply_all_halo_updates();
+      } else {
+        // Multiplicative: black phase, exchange, white phase, exchange.
+        sweep_color(0, u);
+        apply_halo_updates(0);
+        sweep_color(1, u);
+        apply_halo_updates(1);
+      }
+      (void)s;
+    }
+
+    for (auto& sc : scratch_) {
+      stats_.block_solves += sc.stats.block_solves;
+      stats_.mr_iterations += sc.stats.mr_iterations;
+      stats_.flops += sc.stats.flops;
+      stats_.boundary_bytes += sc.stats.boundary_bytes;
+      sc.stats.reset();
+    }
+  }
+
+  /// The residual field maintained during the last apply() — exposed for
+  /// verification (r == f - A u holds exactly for S = float).
+  const FermionField<float>& residual() const noexcept { return r_; }
+
+ private:
+  struct Scratch {
+    FermionField<float> r_loc, z, rhs_e, mr_r, mr_ar, t1_o, t2_o;
+    SchwarzStats stats;  // merged into stats_ at the end of apply()
+  };
+
+  S* link_ptr(int d, std::int32_t l, int mu) noexcept {
+    return links_.data() +
+           ((static_cast<std::size_t>(d) *
+                 static_cast<std::size_t>(part_->domain_volume()) +
+             static_cast<std::size_t>(l)) *
+                kNumDims +
+            static_cast<std::size_t>(mu)) *
+               kSU3Reals;
+  }
+  const S* link_ptr(int d, std::int32_t l, int mu) const noexcept {
+    return const_cast<SchwarzPreconditioner*>(this)->link_ptr(d, l, mu);
+  }
+  S* diag_e_ptr(int d, std::int32_t le, int chi) noexcept {
+    return diag_e_.data() +
+           ((static_cast<std::size_t>(d) *
+                 static_cast<std::size_t>(part_->domain_half_volume()) +
+             static_cast<std::size_t>(le)) *
+                2 +
+            static_cast<std::size_t>(chi)) *
+               kCloverBlockReals;
+  }
+  S* inv_o_ptr(int d, std::int32_t lo, int chi) noexcept {
+    return inv_o_.data() +
+           ((static_cast<std::size_t>(d) *
+                 static_cast<std::size_t>(part_->domain_half_volume()) +
+             static_cast<std::size_t>(lo)) *
+                2 +
+            static_cast<std::size_t>(chi)) *
+               kCloverBlockReals;
+  }
+  float* buffer_ptr(int d, int mu, Dir dir) noexcept {
+    return buffers_.data() + static_cast<std::size_t>(d) *
+                                 static_cast<std::size_t>(buffer_stride_) +
+           static_cast<std::size_t>(
+               face_offset_[static_cast<std::size_t>(mu) * 2 +
+                            (dir == Dir::kForward ? 0 : 1)]);
+  }
+
+  /// Apply the two chirality blocks at (d, site) to a spinor.
+  static void apply_block_pair(const PackedHermitian6<float>& b0,
+                               const PackedHermitian6<float>& b1,
+                               const Spinor<float>& in,
+                               Spinor<float>& out) noexcept {
+    Complex<float> xv[kCloverBlockDim], yv[kCloverBlockDim];
+    const PackedHermitian6<float>* blocks[2] = {&b0, &b1};
+    for (int chi = 0; chi < 2; ++chi) {
+      for (int sl = 0; sl < 2; ++sl)
+        for (int c = 0; c < kNumColors; ++c)
+          xv[sl * kNumColors + c] = in.s[2 * chi + sl].c[c];
+      blocks[chi]->apply(xv, yv);
+      for (int sl = 0; sl < 2; ++sl)
+        for (int c = 0; c < kNumColors; ++c)
+          out.s[2 * chi + sl].c[c] = yv[sl * kNumColors + c];
+    }
+  }
+
+  /// Half dslash restricted to the domain (Dirichlet: out-of-domain hops
+  /// dropped): out = D_{out_parity, 1-out_parity} in. Both fields are
+  /// half-volume, indexed by the parity-local index (even local l for
+  /// parity 0, l - hv for parity 1).
+  void local_dslash_impl(int d, int out_parity, const FermionField<float>& in,
+                         FermionField<float>& out) const {
+    const std::int32_t hv = part_->domain_half_volume();
+    const std::int32_t l0 = out_parity == 0 ? 0 : hv;
+    const std::int32_t in_off = out_parity == 0 ? hv : 0;
+    for (std::int32_t i = 0; i < hv; ++i) {
+      const std::int32_t l = l0 + i;
+      Spinor<float> acc;
+      acc.zero();
+      for (int mu = 0; mu < kNumDims; ++mu) {
+        const std::int32_t lf = part_->local_neighbor(l, mu, Dir::kForward);
+        if (lf >= 0) {
+          const HalfSpinor<float> h = project(in[lf - in_off], mu, -1);
+          reconstruct_add(acc, mul(load_su3(link_ptr(d, l, mu)), h), mu, -1);
+        }
+        const std::int32_t lb = part_->local_neighbor(l, mu, Dir::kBackward);
+        if (lb >= 0) {
+          const HalfSpinor<float> h = project(in[lb - in_off], mu, +1);
+          reconstruct_add(acc, mul_adj(load_su3(link_ptr(d, lb, mu)), h), mu,
+                          +1);
+        }
+      }
+      out[i] = acc;
+    }
+  }
+
+  /// out_e = Dtilde_ee in_e within domain d (Dirichlet boundaries).
+  void local_schur(int d, const FermionField<float>& in_e,
+                   FermionField<float>& out_e, Scratch& sc) const {
+    const std::int32_t hv = part_->domain_half_volume();
+    local_dslash_impl(d, 1, in_e, sc.t1_o);  // D_oe in_e
+    for (std::int32_t lo = 0; lo < hv; ++lo) {
+      apply_block_pair(
+          load_block(inv_o_ptr_const(d, lo, 0)),
+          load_block(inv_o_ptr_const(d, lo, 1)), sc.t1_o[lo], sc.t2_o[lo]);
+    }
+    local_dslash_impl(d, 0, sc.t2_o, out_e);  // D_eo A_oo^-1 D_oe in_e
+    for (std::int32_t le = 0; le < hv; ++le) {
+      Spinor<float> diag;
+      apply_block_pair(load_block(diag_e_ptr_const(d, le, 0)),
+                       load_block(diag_e_ptr_const(d, le, 1)), in_e[le],
+                       diag);
+      for (int sp = 0; sp < kNumSpins; ++sp)
+        for (int c = 0; c < kNumColors; ++c)
+          out_e[le].s[sp].c[c] =
+              diag.s[sp].c[c] - 0.25f * out_e[le].s[sp].c[c];
+    }
+  }
+
+  const S* diag_e_ptr_const(int d, std::int32_t le, int chi) const noexcept {
+    return const_cast<SchwarzPreconditioner*>(this)->diag_e_ptr(d, le, chi);
+  }
+  const S* inv_o_ptr_const(int d, std::int32_t lo, int chi) const noexcept {
+    return const_cast<SchwarzPreconditioner*>(this)->inv_o_ptr(d, lo, chi);
+  }
+
+  std::int64_t schur_flops() const noexcept {
+    // Two half-dslashes + two block-diagonal applications + the combine.
+    return 168 * 2 * hops_per_parity_ +
+           static_cast<std::int64_t>(part_->domain_volume()) * 504 / 2 * 2 +
+           static_cast<std::int64_t>(part_->domain_half_volume()) * 24;
+  }
+
+  static void round_spinor_fp16(Spinor<float>& s) noexcept {
+    for (int sp = 0; sp < kNumSpins; ++sp)
+      for (int c = 0; c < kNumColors; ++c)
+        s.s[sp].c[c] = Complex<float>(half_round_trip(s.s[sp].c[c].real()),
+                                      half_round_trip(s.s[sp].c[c].imag()));
+  }
+
+  /// Solve one domain from the current residual, update u and r, pack the
+  /// boundary buffers of the correction. Writes stats into sc.stats (so
+  /// concurrent domain solves never share a counter).
+  void solve_domain(int d, FermionField<float>& u, Scratch& sc) {
+    const std::int32_t vd = part_->domain_volume();
+    const std::int32_t hv = part_->domain_half_volume();
+
+    // Gather the residual (optionally through fp16 spinor storage).
+    for (std::int32_t l = 0; l < vd; ++l) {
+      sc.r_loc[l] = r_[part_->global_site(d, l)];
+      if (params_.half_precision_spinors) round_spinor_fp16(sc.r_loc[l]);
+    }
+
+    // Schur RHS: rhs_e = r_e + 1/2 D_eo A_oo^-1 r_o.
+    for (std::int32_t lo = 0; lo < hv; ++lo)
+      apply_block_pair(load_block(inv_o_ptr_const(d, lo, 0)),
+                       load_block(inv_o_ptr_const(d, lo, 1)),
+                       sc.r_loc[hv + lo], sc.t1_o[lo]);
+    local_dslash_impl(d, 0, sc.t1_o, sc.rhs_e);
+    for (std::int32_t le = 0; le < hv; ++le)
+      for (int sp = 0; sp < kNumSpins; ++sp)
+        for (int c = 0; c < kNumColors; ++c)
+          sc.rhs_e[le].s[sp].c[c] =
+              sc.r_loc[le].s[sp].c[c] + 0.5f * sc.rhs_e[le].s[sp].c[c];
+    sc.stats.flops += 168 * hops_per_parity_ + hv * (504 + 24);
+
+    // Block MR on Dtilde_ee with fixed iteration count, z_e starts at 0.
+    FermionField<float>& z = sc.z;
+    for (std::int32_t le = 0; le < hv; ++le) z[le].zero();
+    copy_range(sc.rhs_e, sc.mr_r, hv);
+    for (int it = 0; it < params_.block_mr_iterations; ++it) {
+      local_schur(d, sc.mr_r, sc.mr_ar, sc);
+      double arr_re = 0, arr_im = 0, arar = 0;
+      for (std::int32_t le = 0; le < hv; ++le)
+        for (int sp = 0; sp < kNumSpins; ++sp)
+          for (int c = 0; c < kNumColors; ++c) {
+            const auto& a = sc.mr_ar[le].s[sp].c[c];
+            const auto& rr = sc.mr_r[le].s[sp].c[c];
+            arr_re += static_cast<double>(a.real()) * rr.real() +
+                      static_cast<double>(a.imag()) * rr.imag();
+            arr_im += static_cast<double>(a.real()) * rr.imag() -
+                      static_cast<double>(a.imag()) * rr.real();
+            arar += static_cast<double>(a.real()) * a.real() +
+                    static_cast<double>(a.imag()) * a.imag();
+          }
+      ++sc.stats.mr_iterations;
+      sc.stats.flops += schur_flops() + hv * 24 * 3;  // schur + dots
+      if (arar == 0.0) break;
+      const Complex<float> alpha(static_cast<float>(arr_re / arar),
+                                 static_cast<float>(arr_im / arar));
+      for (std::int32_t le = 0; le < hv; ++le)
+        for (int sp = 0; sp < kNumSpins; ++sp)
+          for (int c = 0; c < kNumColors; ++c) {
+            z[le].s[sp].c[c] += alpha * sc.mr_r[le].s[sp].c[c];
+            sc.mr_r[le].s[sp].c[c] -= alpha * sc.mr_ar[le].s[sp].c[c];
+          }
+      sc.stats.flops += hv * 24 * 4;  // two axpys
+    }
+
+    // Odd reconstruction: z_o = A_oo^-1 (r_o + 1/2 D_oe z_e).
+    local_dslash_impl(d, 1, z /* even half */, sc.t1_o);
+    for (std::int32_t lo = 0; lo < hv; ++lo) {
+      Spinor<float> rhs_o;
+      for (int sp = 0; sp < kNumSpins; ++sp)
+        for (int c = 0; c < kNumColors; ++c)
+          rhs_o.s[sp].c[c] = sc.r_loc[hv + lo].s[sp].c[c] +
+                             0.5f * sc.t1_o[lo].s[sp].c[c];
+      apply_block_pair(load_block(inv_o_ptr_const(d, lo, 0)),
+                       load_block(inv_o_ptr_const(d, lo, 1)), rhs_o,
+                       z[hv + lo]);
+    }
+    sc.stats.flops += 168 * hops_per_parity_ + hv * (504 + 24);
+
+    if (params_.half_precision_spinors)
+      for (std::int32_t l = 0; l < vd; ++l) round_spinor_fp16(z[l]);
+
+    // Update u and the residual on this domain: even <- MR residual,
+    // odd <- 0 (exact by the Schur reconstruction).
+    for (std::int32_t l = 0; l < vd; ++l) {
+      const std::int32_t g = part_->global_site(d, l);
+      u[g] = u[g] + z[l];
+      if (l < hv) {
+        r_[g] = sc.mr_r[l];
+      } else {
+        r_[g].zero();
+      }
+    }
+
+    pack_boundaries(d, z, sc.stats);
+    ++sc.stats.block_solves;
+  }
+
+  static void copy_range(const FermionField<float>& src,
+                         FermionField<float>& dst, std::int32_t n) {
+    for (std::int32_t i = 0; i < n; ++i) dst[i] = src[i];
+  }
+
+  /// Pack the correction's projected half-spinors into the AOS face
+  /// buffers (paper Fig. 3). Forward faces are link-multiplied by the
+  /// producer (it owns U_mu(x)); backward faces are packed raw and
+  /// link-multiplied by the consumer.
+  void pack_boundaries(int d, const FermionField<float>& z,
+                       SchwarzStats& stats) {
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      const auto mu_s = static_cast<std::size_t>(mu);
+      {
+        const auto& face = part_->face_sites(mu, Dir::kForward);
+        float* buf = buffer_ptr(d, mu, Dir::kForward);
+        for (std::size_t i = 0; i < face.size(); ++i) {
+          const std::int32_t l = face[i];
+          const HalfSpinor<float> h =
+              mul_adj(load_su3(link_ptr(d, l, mu)), project(z[l], mu, +1));
+          write_halfspinor(h, buf + i * 12);
+        }
+        stats.boundary_bytes +=
+            static_cast<std::int64_t>(face.size()) * 12 * 4;
+        stats.flops += static_cast<std::int64_t>(face.size()) * (12 + 132);
+      }
+      {
+        const auto& face = part_->face_sites(mu, Dir::kBackward);
+        float* buf = buffer_ptr(d, mu, Dir::kBackward);
+        for (std::size_t i = 0; i < face.size(); ++i) {
+          const std::int32_t l = face[i];
+          write_halfspinor(project(z[l], mu, -1), buf + i * 12);
+        }
+        stats.boundary_bytes +=
+            static_cast<std::int64_t>(face.size()) * 12 * 4;
+        stats.flops += static_cast<std::int64_t>(face.size()) * 12;
+      }
+      (void)mu_s;
+    }
+  }
+
+  static void write_halfspinor(const HalfSpinor<float>& h,
+                               float* dst) noexcept {
+    int k = 0;
+    for (int sp = 0; sp < 2; ++sp)
+      for (int c = 0; c < kNumColors; ++c) {
+        dst[k++] = h.s[sp].c[c].real();
+        dst[k++] = h.s[sp].c[c].imag();
+      }
+  }
+
+  static HalfSpinor<float> read_halfspinor(const float* src) noexcept {
+    HalfSpinor<float> h;
+    int k = 0;
+    for (int sp = 0; sp < 2; ++sp)
+      for (int c = 0; c < kNumColors; ++c) {
+        const float re = src[k++];
+        const float im = src[k++];
+        h.s[sp].c[c] = Complex<float>(re, im);
+      }
+    return h;
+  }
+
+  /// Consume the face buffers of the domains in `producers`: add the R
+  /// coupling of their corrections to the residual of the neighboring
+  /// domains.
+  void consume_buffers_of(int d) {
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      const auto mu_s = static_cast<std::size_t>(mu);
+      // Producer's forward face -> consumer's backward boundary sites.
+      {
+        const int nd = part_->neighbor_domain(d, mu, Dir::kForward);
+        const float* buf = buffer_ptr(d, mu, Dir::kForward);
+        const auto& partners = partner_fwd_[mu_s];
+        for (std::size_t i = 0; i < partners.size(); ++i) {
+          const HalfSpinor<float> h = read_halfspinor(buf + i * 12);
+          const std::int32_t g = part_->global_site(nd, partners[i]);
+          Spinor<float> add;
+          add.zero();
+          reconstruct_add(add, h, mu, +1);
+          for (int sp = 0; sp < kNumSpins; ++sp)
+            for (int c = 0; c < kNumColors; ++c)
+              r_[g].s[sp].c[c] += 0.5f * add.s[sp].c[c];
+        }
+        stats_.flops += static_cast<std::int64_t>(partners.size()) * (24 + 24);
+      }
+      // Producer's backward face -> consumer's forward boundary sites.
+      {
+        const int nd = part_->neighbor_domain(d, mu, Dir::kBackward);
+        const float* buf = buffer_ptr(d, mu, Dir::kBackward);
+        const auto& partners = partner_bwd_[mu_s];
+        for (std::size_t i = 0; i < partners.size(); ++i) {
+          const HalfSpinor<float> raw = read_halfspinor(buf + i * 12);
+          const std::int32_t pl = partners[i];
+          const HalfSpinor<float> h =
+              mul(load_su3(link_ptr(nd, pl, mu)), raw);
+          const std::int32_t g = part_->global_site(nd, pl);
+          Spinor<float> add;
+          add.zero();
+          reconstruct_add(add, h, mu, -1);
+          for (int sp = 0; sp < kNumSpins; ++sp)
+            for (int c = 0; c < kNumColors; ++c)
+              r_[g].s[sp].c[c] += 0.5f * add.s[sp].c[c];
+        }
+        stats_.flops +=
+            static_cast<std::int64_t>(partners.size()) * (132 + 24 + 24);
+      }
+    }
+  }
+
+  void sweep_color(int color, FermionField<float>& u) {
+    const auto& list = part_->domains_of_color(color);
+    const auto n = static_cast<std::int64_t>(list.size());
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) {
+      int tid = 0;
+#if defined(LQCD_HAVE_OPENMP)
+      tid = omp_get_thread_num();
+#endif
+      solve_domain(list[static_cast<std::size_t>(i)], u,
+                   scratch_[static_cast<std::size_t>(tid)]);
+    }
+  }
+
+  void sweep_all_domains(FermionField<float>& u) {
+    const std::int64_t n = part_->num_domains();
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) {
+      int tid = 0;
+#if defined(LQCD_HAVE_OPENMP)
+      tid = omp_get_thread_num();
+#endif
+      solve_domain(static_cast<int>(i), u,
+                   scratch_[static_cast<std::size_t>(tid)]);
+    }
+  }
+
+  void apply_halo_updates(int color) {
+    for (const int d : part_->domains_of_color(color)) consume_buffers_of(d);
+  }
+
+  void apply_all_halo_updates() {
+    for (int d = 0; d < part_->num_domains(); ++d) consume_buffers_of(d);
+  }
+
+  const DomainPartition* part_;
+  SchwarzParams params_;
+  SchwarzStats stats_;
+
+  AlignedVector<S> links_;   // [domain][local][mu][18]
+  AlignedVector<S> diag_e_;  // [domain][even local][chi][36]
+  AlignedVector<S> inv_o_;   // [domain][odd local][chi][36]
+
+  AlignedVector<float> buffers_;
+  std::int64_t buffer_stride_ = 0;
+  std::int64_t face_offset_[2 * kNumDims] = {};
+  std::vector<std::int32_t> partner_fwd_[kNumDims];
+  std::vector<std::int32_t> partner_bwd_[kNumDims];
+  std::int64_t hops_per_parity_ = 0;
+
+  FermionField<float> r_;
+  std::vector<Scratch> scratch_;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,71 @@
+// Even-odd (Schur complement) solve driver.
+//
+// Reduces A u = f on the full lattice to the half-lattice system
+// Dtilde_ee u_e = f_e - A_eo A_oo^{-1} f_o (paper Eq. 5), delegates the
+// even solve to any solver, and reconstructs the odd half. Typically
+// halves the iteration count (paper cites ~2x, Ref. [14]).
+#pragma once
+
+#include <functional>
+
+#include "lqcd/dirac/wilson_clover.h"
+#include "lqcd/solver/linear_operator.h"
+
+namespace lqcd {
+
+/// LinearOperator adapter for the full Wilson-Clover operator A.
+template <class T>
+class WilsonCloverLinOp final : public LinearOperator<T> {
+ public:
+  explicit WilsonCloverLinOp(const WilsonCloverOperator<T>& op) : op_(&op) {}
+  void apply(const FermionField<T>& in, FermionField<T>& out) const override {
+    op_->apply(in, out);
+  }
+  std::int64_t vector_size() const override {
+    return op_->geometry().volume();
+  }
+
+ private:
+  const WilsonCloverOperator<T>* op_;
+};
+
+/// LinearOperator adapter for the even-even Schur operator Dtilde_ee.
+template <class T>
+class SchurLinOp final : public LinearOperator<T> {
+ public:
+  explicit SchurLinOp(const WilsonCloverOperator<T>& op) : op_(&op) {
+    LQCD_CHECK_MSG(op.clover().has_inverses(),
+                   "call prepare_schur() before building SchurLinOp");
+  }
+  void apply(const FermionField<T>& in, FermionField<T>& out) const override {
+    op_->apply_schur(in, out);
+  }
+  std::int64_t vector_size() const override {
+    return op_->checkerboard().half_volume();
+  }
+
+ private:
+  const WilsonCloverOperator<T>* op_;
+};
+
+/// Even-system solver contract: solve Dtilde_ee u_e = rhs_e.
+template <class T>
+using EvenSolver = std::function<SolverStats(const FermionField<T>& rhs_e,
+                                             FermionField<T>& u_e)>;
+
+/// Full even-odd-preconditioned solve of A u = f.
+template <class T>
+SolverStats even_odd_solve(const WilsonCloverOperator<T>& op,
+                           const FermionField<T>& f, FermionField<T>& u,
+                           const EvenSolver<T>& even_solver) {
+  const auto half = op.checkerboard().half_volume();
+  FermionField<T> f_e(half), f_o(half), fe_tilde(half), u_e(half), u_o(half);
+  op.split(f, f_e, f_o);
+  op.schur_rhs(f_e, f_o, fe_tilde);
+  SolverStats stats = even_solver(fe_tilde, u_e);
+  op.reconstruct_odd(f_o, u_e, u_o);
+  op.merge(u_e, u_o, u);
+  return stats;
+}
+
+}  // namespace lqcd

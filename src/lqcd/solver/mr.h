@@ -1,0 +1,80 @@
+// Minimal residual (MR) iteration [Saad, Iterative Methods, Sec. 5.3.2].
+//
+// This is the paper's block solver (Sec. II-D): it needs only three
+// vectors (x, r, Ar), which is what lets the per-domain solve run from L2
+// cache. Each iteration costs one operator application plus one batched
+// reduction for the two inner products.
+#pragma once
+
+#include "lqcd/solver/linear_operator.h"
+
+namespace lqcd {
+
+struct MRParams {
+  int max_iterations = 10;
+  /// Relative residual target; <= 0 means "run exactly max_iterations",
+  /// the fixed-iteration-count mode the Schwarz block solve uses.
+  double tolerance = 0.0;
+  /// Over/under-relaxation factor omega (1.0 = plain MR).
+  double omega = 1.0;
+};
+
+template <class T>
+SolverStats mr_solve(const LinearOperator<T>& op, const FermionField<T>& b,
+                     FermionField<T>& x, const MRParams& params,
+                     bool x_is_zero = false) {
+  SolverStats stats;
+  const std::int64_t n = op.vector_size();
+  LQCD_CHECK(b.size() == n && x.size() == n);
+
+  FermionField<T> r(n), ar(n);
+  if (x_is_zero) {
+    copy(b, r);
+  } else {
+    op.apply(x, r);
+    ++stats.matvecs;
+    sub(b, r, r);
+  }
+  const double bnorm = norm(b);
+  ++stats.global_sum_events;
+  if (bnorm == 0.0) {
+    x.zero();
+    stats.converged = true;
+    return stats;
+  }
+  double rnorm2 = norm2(r);
+  ++stats.global_sum_events;
+
+  const T omega = static_cast<T>(params.omega);
+  for (int it = 0; it < params.max_iterations; ++it) {
+    const double rel = std::sqrt(rnorm2) / bnorm;
+    stats.residual_history.push_back(rel);
+    if (params.tolerance > 0 && rel <= params.tolerance) {
+      stats.converged = true;
+      break;
+    }
+    op.apply(r, ar);
+    ++stats.matvecs;
+    // alpha = <Ar, r> / <Ar, Ar>; both inner products in one reduction.
+    const auto arr = dot(ar, r);
+    const double arar = norm2(ar);
+    ++stats.global_sum_events;
+    if (arar == 0.0) break;  // r in the null space of op: stagnation
+    const Complex<T> alpha(
+        static_cast<T>(omega * arr.real() / arar),
+        static_cast<T>(omega * arr.imag() / arar));
+    axpy(alpha, r, x);
+    axpy(-alpha, ar, r);
+    // Track ||r||^2 incrementally? Recompute: cheap and robust, and
+    // bundles with the next iteration's reduction in a real multi-node
+    // run, so we do not count it separately.
+    rnorm2 = norm2(r);
+    ++stats.iterations;
+  }
+  stats.final_relative_residual = std::sqrt(rnorm2) / bnorm;
+  if (params.tolerance > 0 && stats.final_relative_residual <= params.tolerance)
+    stats.converged = true;
+  return stats;
+}
+
+}  // namespace lqcd

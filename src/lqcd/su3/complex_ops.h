@@ -1,0 +1,30 @@
+// Small helpers on std::complex used throughout the algebra kernels.
+#pragma once
+
+#include <complex>
+
+namespace lqcd {
+
+template <class T>
+using Complex = std::complex<T>;
+
+/// a * b with b conjugated — the ubiquitous "U^dagger row" product.
+template <class T>
+inline Complex<T> mul_conj(const Complex<T>& a, const Complex<T>& b) noexcept {
+  return Complex<T>(a.real() * b.real() + a.imag() * b.imag(),
+                    a.imag() * b.real() - a.real() * b.imag());
+}
+
+/// i * a (free on hardware with FMA sign tricks; explicit here).
+template <class T>
+inline Complex<T> timesI(const Complex<T>& a) noexcept {
+  return Complex<T>(-a.imag(), a.real());
+}
+
+/// -i * a.
+template <class T>
+inline Complex<T> timesMinusI(const Complex<T>& a) noexcept {
+  return Complex<T>(a.imag(), -a.real());
+}
+
+}  // namespace lqcd

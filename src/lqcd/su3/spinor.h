@@ -1,0 +1,102 @@
+// Dirac 4-spinors and Wilson half-spinors.
+//
+// A spinor carries 4 spin × 3 color = 12 complex = 24 real degrees of
+// freedom per site (paper Sec. II-B). The Wilson hopping term projects a
+// spinor to a 2-spin "half-spinor" (12 reals) before the link
+// multiplication — the object the paper packs into AOS boundary buffers
+// (Fig. 3).
+#pragma once
+
+#include <cmath>
+
+#include "lqcd/su3/su3.h"
+
+namespace lqcd {
+
+inline constexpr int kNumSpins = 4;
+inline constexpr int kSpinorReals = 2 * kNumColors * kNumSpins;  // 24
+
+template <class T>
+struct Spinor {
+  ColorVector<T> s[kNumSpins];
+
+  void zero() noexcept {
+    for (auto& cv : s) cv.zero();
+  }
+};
+
+template <class T>
+struct HalfSpinor {
+  ColorVector<T> s[2];
+
+  void zero() noexcept {
+    s[0].zero();
+    s[1].zero();
+  }
+};
+
+template <class T>
+inline Spinor<T> operator+(const Spinor<T>& a, const Spinor<T>& b) noexcept {
+  Spinor<T> r;
+  for (int sp = 0; sp < kNumSpins; ++sp) r.s[sp] = a.s[sp] + b.s[sp];
+  return r;
+}
+
+template <class T>
+inline Spinor<T> operator-(const Spinor<T>& a, const Spinor<T>& b) noexcept {
+  Spinor<T> r;
+  for (int sp = 0; sp < kNumSpins; ++sp) r.s[sp] = a.s[sp] - b.s[sp];
+  return r;
+}
+
+template <class T>
+inline Spinor<T> operator*(const Complex<T>& z, const Spinor<T>& a) noexcept {
+  Spinor<T> r;
+  for (int sp = 0; sp < kNumSpins; ++sp)
+    for (int c = 0; c < kNumColors; ++c) r.s[sp].c[c] = z * a.s[sp].c[c];
+  return r;
+}
+
+template <class T>
+inline Spinor<T> operator*(T x, const Spinor<T>& a) noexcept {
+  return Complex<T>(x, 0) * a;
+}
+
+/// <a|b> = sum conj(a_i) b_i.
+template <class T>
+inline Complex<T> dot(const Spinor<T>& a, const Spinor<T>& b) noexcept {
+  Complex<T> acc(0, 0);
+  for (int sp = 0; sp < kNumSpins; ++sp)
+    for (int c = 0; c < kNumColors; ++c)
+      acc += mul_conj(b.s[sp].c[c], a.s[sp].c[c]);
+  return acc;
+}
+
+template <class T>
+inline double norm2(const Spinor<T>& a) noexcept {
+  double acc = 0;
+  for (int sp = 0; sp < kNumSpins; ++sp)
+    for (int c = 0; c < kNumColors; ++c)
+      acc += static_cast<double>(std::norm(a.s[sp].c[c]));
+  return acc;
+}
+
+/// y = U x applied color-wise to both spin components of a half-spinor.
+template <class T>
+inline HalfSpinor<T> mul(const SU3<T>& u, const HalfSpinor<T>& x) noexcept {
+  HalfSpinor<T> y;
+  y.s[0] = mul(u, x.s[0]);
+  y.s[1] = mul(u, x.s[1]);
+  return y;
+}
+
+template <class T>
+inline HalfSpinor<T> mul_adj(const SU3<T>& u,
+                             const HalfSpinor<T>& x) noexcept {
+  HalfSpinor<T> y;
+  y.s[0] = mul_adj(u, x.s[0]);
+  y.s[1] = mul_adj(u, x.s[1]);
+  return y;
+}
+
+}  // namespace lqcd

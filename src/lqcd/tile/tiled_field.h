@@ -1,0 +1,113 @@
+// Site-fused structure-of-arrays spinor storage for one domain block
+// (paper Sec. III-A): every one of the 24 real spinor components of the
+// 16 fused sites occupies one contiguous 16-float run — one KNC vector
+// register, one cache line — with the even and odd xy-tiles stored
+// separately so even-odd preconditioning never mixes parities inside a
+// register.
+#pragma once
+
+#include "lqcd/base/aligned.h"
+#include "lqcd/linalg/fermion_field.h"
+#include "lqcd/tile/xy_tile.h"
+
+namespace lqcd {
+
+class TiledField {
+ public:
+  /// Block of dims {bx, by, bz, bt} with bx*by == 32.
+  TiledField(const Coord& block)
+      : block_(block),
+        layout_(block[0], block[1]),
+        slices_(static_cast<std::int64_t>(block[2]) * block[3]),
+        data_(static_cast<std::size_t>(slices_) * 2 * kSpinorReals *
+              kTileLanes) {}
+
+  const XyTileLayout& layout() const noexcept { return layout_; }
+  std::int64_t slices() const noexcept { return slices_; }
+
+  /// Contiguous 16-lane run of one real component: (slice, tile, comp).
+  float* component(std::int64_t slice, int tile, int comp) noexcept {
+    return data_.data() +
+           ((static_cast<std::size_t>(slice) * 2 +
+             static_cast<std::size_t>(tile)) *
+                kSpinorReals +
+            static_cast<std::size_t>(comp)) *
+               kTileLanes;
+  }
+  const float* component(std::int64_t slice, int tile,
+                         int comp) const noexcept {
+    return const_cast<TiledField*>(this)->component(slice, tile, comp);
+  }
+
+  std::int64_t slice_index(int z, int t) const noexcept {
+    return static_cast<std::int64_t>(z) +
+           static_cast<std::int64_t>(block_[2]) * t;
+  }
+
+  /// Pack from a block-local field indexed lexicographically
+  /// (x + bx*(y + by*(z + bz*t))).
+  void pack(const FermionField<float>& src) {
+    LQCD_CHECK(src.size() == static_cast<std::int64_t>(block_[0]) *
+                                 block_[1] * block_[2] * block_[3]);
+    for_each_site([&](std::int32_t lex, std::int64_t slice, int tile,
+                      int lane) {
+      const Spinor<float>& s = src[lex];
+      int comp = 0;
+      for (int sp = 0; sp < kNumSpins; ++sp)
+        for (int c = 0; c < kNumColors; ++c) {
+          component(slice, tile, comp++)[lane] = s.s[sp].c[c].real();
+          component(slice, tile, comp++)[lane] = s.s[sp].c[c].imag();
+        }
+    });
+  }
+
+  void unpack(FermionField<float>& dst) const {
+    LQCD_CHECK(dst.size() == static_cast<std::int64_t>(block_[0]) *
+                                 block_[1] * block_[2] * block_[3]);
+    for_each_site([&](std::int32_t lex, std::int64_t slice, int tile,
+                      int lane) {
+      Spinor<float>& s = dst[lex];
+      int comp = 0;
+      for (int sp = 0; sp < kNumSpins; ++sp)
+        for (int c = 0; c < kNumColors; ++c) {
+          const float re = component(slice, tile, comp++)[lane];
+          const float im = component(slice, tile, comp++)[lane];
+          s.s[sp].c[c] = Complex<float>(re, im);
+        }
+    });
+  }
+
+  /// Vector-register view of an xy-hop: destination lane d of the result
+  /// gets source lane shift.source[d] of the OTHER tile's component run
+  /// (a single permute instruction on the KNC), masked lanes get zero.
+  /// This is the Fig. 2 "permute + mask_add" pattern.
+  void permuted_component(std::int64_t slice, int dest_tile, int comp,
+                          int mu, Dir dir,
+                          float out[kTileLanes]) const {
+    const LaneShift& sh = layout_.shift(dest_tile, mu, dir);
+    const float* src = component(slice, 1 - dest_tile, comp);
+    for (int lane = 0; lane < kTileLanes; ++lane)
+      out[lane] = sh.source[static_cast<std::size_t>(lane)] >= 0
+                      ? src[sh.source[static_cast<std::size_t>(lane)]]
+                      : 0.0f;
+  }
+
+ private:
+  template <class Fn>
+  void for_each_site(Fn&& fn) const {
+    std::int32_t lex = 0;
+    for (int t = 0; t < block_[3]; ++t)
+      for (int z = 0; z < block_[2]; ++z)
+        for (int y = 0; y < block_[1]; ++y)
+          for (int x = 0; x < block_[0]; ++x, ++lex)
+            fn(lex, slice_index(z, t), XyTileLayout::tile_of(x, y),
+               layout_.lane_of(x, y));
+  }
+
+  Coord block_;
+  XyTileLayout layout_;
+  std::int64_t slices_;
+  AlignedVector<float> data_;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,42 @@
+#include "lqcd/tile/xy_tile.h"
+
+namespace lqcd {
+
+XyTileLayout::XyTileLayout(int bx, int by) : bx_(bx), by_(by) {
+  LQCD_CHECK_MSG(bx >= 2 && by >= 2 && bx % 2 == 0 && by % 2 == 0,
+                 "tile cross-section extents must be even and >= 2");
+  LQCD_CHECK_MSG(bx * by == 2 * kTileLanes,
+                 "xy cross-section must hold exactly 16 sites per parity "
+                 "(e.g. 8x4)");
+
+  // Lane numbering: row-major over (y, compressed x). Each tile row holds
+  // bx/2 sites, so a tile has by * bx/2 = 16 lanes.
+  const int row_lanes = bx_ / 2;
+  for (int y = 0; y < by_; ++y)
+    for (int x = 0; x < bx_; ++x)
+      lane_[static_cast<std::size_t>(y) * static_cast<std::size_t>(bx_) +
+            static_cast<std::size_t>(x)] = y * row_lanes + x / 2;
+
+  // Build the four hop permutations per tile by walking the geometry.
+  for (int tile = 0; tile < 2; ++tile)
+    for (int mu = 0; mu < 2; ++mu)
+      for (int dirbit = 0; dirbit < 2; ++dirbit) {
+        LaneShift& sh = shifts_[static_cast<std::size_t>(tile) * 4 +
+                                static_cast<std::size_t>(mu) * 2 +
+                                static_cast<std::size_t>(dirbit)];
+        sh.source.fill(-1);
+        const int step = dirbit == 0 ? +1 : -1;
+        for (int y = 0; y < by_; ++y)
+          for (int x = 0; x < bx_; ++x) {
+            if (tile_of(x, y) != tile) continue;
+            const int nx = mu == 0 ? x + step : x;
+            const int ny = mu == 1 ? y + step : y;
+            if (nx < 0 || nx >= bx_ || ny < 0 || ny >= by_)
+              continue;  // crosses the domain cross-section: stays masked
+            sh.source[static_cast<std::size_t>(lane_of(x, y))] =
+                lane_of(nx, ny);
+          }
+      }
+}
+
+}  // namespace lqcd

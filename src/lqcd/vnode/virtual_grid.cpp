@@ -1,0 +1,144 @@
+#include "lqcd/vnode/virtual_grid.h"
+
+namespace lqcd {
+
+VirtualGrid::VirtualGrid(const Geometry& global, const Coord& grid)
+    : global_(&global), grid_(grid) {
+  num_ranks_ = 1;
+  local_volume_ = 1;
+  for (int mu = 0; mu < kNumDims; ++mu) {
+    const auto mu_s = static_cast<std::size_t>(mu);
+    LQCD_CHECK_MSG(grid_[mu_s] >= 1, "rank grid extent must be >= 1");
+    LQCD_CHECK_MSG(global.dim(mu) % grid_[mu_s] == 0,
+                   "global dim " << mu << " not divisible by rank grid");
+    local_[mu_s] = global.dim(mu) / grid_[mu_s];
+    LQCD_CHECK_MSG(grid_[mu_s] == 1 || local_[mu_s] >= 2,
+                   "cut dimension " << mu << " needs local extent >= 2");
+    num_ranks_ *= grid_[mu_s];
+    local_volume_ *= local_[mu_s];
+  }
+
+  auto local_index = [&](const Coord& c) {
+    return static_cast<std::int32_t>(
+        c[0] + local_[0] * (c[1] + local_[1] * (c[2] + local_[2] * c[3])));
+  };
+  auto rank_index = [&](const Coord& rc) {
+    return rc[0] + grid_[0] * (rc[1] + grid_[1] * (rc[2] + grid_[2] * rc[3]));
+  };
+
+  const auto gv = static_cast<std::size_t>(global.volume());
+  site_rank_.resize(gv);
+  site_local_.resize(gv);
+  rank_sites_.resize(static_cast<std::size_t>(num_ranks_) *
+                     static_cast<std::size_t>(local_volume_));
+  for (std::int32_t g = 0; g < global.volume(); ++g) {
+    const Coord c = global.coord(g);
+    Coord rc, lc;
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      const auto mu_s = static_cast<std::size_t>(mu);
+      rc[mu_s] = c[mu_s] / local_[mu_s];
+      lc[mu_s] = c[mu_s] % local_[mu_s];
+    }
+    const int r = rank_index(rc);
+    const std::int32_t l = local_index(lc);
+    site_rank_[static_cast<std::size_t>(g)] = r;
+    site_local_[static_cast<std::size_t>(g)] = l;
+    rank_sites_[static_cast<std::size_t>(r) *
+                    static_cast<std::size_t>(local_volume_) +
+                static_cast<std::size_t>(l)] = g;
+  }
+
+  // Rank neighbor table.
+  rank_nbr_.resize(static_cast<std::size_t>(num_ranks_) * 2 * kNumDims);
+  for (int r = 0; r < num_ranks_; ++r) {
+    Coord rc;
+    int rem = r;
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      rc[static_cast<std::size_t>(mu)] =
+          rem % grid_[static_cast<std::size_t>(mu)];
+      rem /= grid_[static_cast<std::size_t>(mu)];
+    }
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      const auto mu_s = static_cast<std::size_t>(mu);
+      Coord f = rc, b = rc;
+      f[mu_s] = (rc[mu_s] + 1) % grid_[mu_s];
+      b[mu_s] = (rc[mu_s] - 1 + grid_[mu_s]) % grid_[mu_s];
+      rank_nbr_[static_cast<std::size_t>(r) * 2 * kNumDims + mu_s * 2 + 0] =
+          rank_index(f);
+      rank_nbr_[static_cast<std::size_t>(r) * 2 * kNumDims + mu_s * 2 + 1] =
+          rank_index(b);
+    }
+  }
+
+  // Face lists in a consistent transverse order (lexicographic over the
+  // other three local coordinates) and per-site face positions.
+  faces_.resize(2 * kNumDims);
+  std::vector<std::vector<std::int32_t>> face_pos(
+      2 * kNumDims,
+      std::vector<std::int32_t>(static_cast<std::size_t>(local_volume_), -1));
+  for (int mu = 0; mu < kNumDims; ++mu) {
+    const auto mu_s = static_cast<std::size_t>(mu);
+    if (!is_cut(mu)) continue;
+    for (int dirbit = 0; dirbit < 2; ++dirbit) {
+      const int edge = dirbit == 0 ? local_[mu_s] - 1 : 0;  // fwd : bwd
+      auto& list = faces_[mu_s * 2 + static_cast<std::size_t>(dirbit)];
+      Coord c;
+      c[mu_s] = edge;
+      // Iterate the three transverse coordinates lexicographically.
+      int dims[3], idx = 0;
+      for (int nu = 0; nu < kNumDims; ++nu)
+        if (nu != mu) dims[idx++] = nu;
+      for (int k2 = 0; k2 < local_[static_cast<std::size_t>(dims[2])]; ++k2)
+        for (int k1 = 0; k1 < local_[static_cast<std::size_t>(dims[1])];
+             ++k1)
+          for (int k0 = 0; k0 < local_[static_cast<std::size_t>(dims[0])];
+               ++k0) {
+            c[static_cast<std::size_t>(dims[0])] = k0;
+            c[static_cast<std::size_t>(dims[1])] = k1;
+            c[static_cast<std::size_t>(dims[2])] = k2;
+            const std::int32_t l = local_index(c);
+            face_pos[mu_s * 2 + static_cast<std::size_t>(dirbit)]
+                    [static_cast<std::size_t>(l)] =
+                        static_cast<std::int32_t>(list.size());
+            list.push_back(l);
+          }
+    }
+  }
+
+  // Local neighbor table with off-rank hops encoded as -(face_pos+1).
+  local_nbr_.resize(static_cast<std::size_t>(local_volume_) * 2 * kNumDims);
+  for (std::int32_t l = 0; l < local_volume_; ++l) {
+    Coord c;
+    std::int32_t rem = l;
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      c[static_cast<std::size_t>(mu)] =
+          rem % local_[static_cast<std::size_t>(mu)];
+      rem /= local_[static_cast<std::size_t>(mu)];
+    }
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      const auto mu_s = static_cast<std::size_t>(mu);
+      const std::size_t base =
+          static_cast<std::size_t>(l) * 2 * kNumDims + mu_s * 2;
+      // Forward.
+      if (c[mu_s] + 1 < local_[mu_s] || !is_cut(mu)) {
+        Coord n = c;
+        n[mu_s] = (c[mu_s] + 1) % local_[mu_s];
+        local_nbr_[base + 0] = local_index(n);
+      } else {
+        local_nbr_[base + 0] =
+            -(face_pos[mu_s * 2 + 0][static_cast<std::size_t>(l)] + 1);
+      }
+      // Backward.
+      if (c[mu_s] > 0 || !is_cut(mu)) {
+        Coord n = c;
+        n[mu_s] = (c[mu_s] - 1 + local_[mu_s]) % local_[mu_s];
+        local_nbr_[base + 1] = local_index(n);
+      } else {
+        local_nbr_[base + 1] =
+            -(face_pos[mu_s * 2 + 1][static_cast<std::size_t>(l)] + 1);
+      }
+    }
+  }
+}
+
+}  // namespace lqcd

@@ -1,0 +1,123 @@
+// Base utilities: RNG quality/determinism, table formatting, error macros.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lqcd/base/error.h"
+#include "lqcd/base/rng.h"
+#include "lqcd/base/table.h"
+#include "lqcd/base/timer.h"
+
+namespace lqcd {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  bool any_diff = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i)
+    any_diff |= (a2.next_u64() != c.next_u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(8);
+  double sum = 0, sum2 = 0, sum4 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+    sum4 += g * g * g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+  EXPECT_NEAR(sum4 / n, 3.0, 0.1);  // Gaussian kurtosis
+}
+
+TEST(Rng, UniformBoundedInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_u64(17);
+    EXPECT_LT(v, 17u);
+  }
+  const double x = rng.uniform(-3.0, 5.0);
+  EXPECT_GE(x, -3.0);
+  EXPECT_LT(x, 5.0);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng base(11);
+  Rng s1 = base.fork(1);
+  Rng s2 = base.fork(2);
+  int collisions = 0;
+  for (int i = 0; i < 100; ++i)
+    if (s1.next_u64() == s2.next_u64()) ++collisions;
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Rng, NoShortCycles) {
+  Rng rng(12);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(rng.next_u64());
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.25, 2);
+  t.row().cell("b").cell(42);
+  const std::string s = t.str(0);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  // Three lines: header, rule, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Table, RejectsCellWithoutRowOrOverflow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.cell("x"), Error);
+  t.row().cell("1").cell("2");
+  EXPECT_THROW(t.cell("3"), Error);
+}
+
+TEST(ErrorMacro, ThrowsWithContext) {
+  try {
+    LQCD_CHECK_MSG(1 == 2, "custom message " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom message 42"), std::string::npos);
+  }
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += i * 1e-9;
+  const double s = t.seconds();
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 60.0);
+  t.reset();
+  EXPECT_LE(t.seconds(), s + 1.0);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,121 @@
+// Field-level BLAS: axpy/dot/norm semantics and double accumulation.
+#include <gtest/gtest.h>
+
+#include "lqcd/linalg/blas.h"
+
+namespace lqcd {
+namespace {
+
+template <class T>
+class BlasTest : public ::testing::Test {};
+using Precisions = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(BlasTest, Precisions);
+
+TYPED_TEST(BlasTest, DotOfGaussianWithItselfIsNorm2) {
+  using T = TypeParam;
+  FermionField<T> x(64);
+  gaussian(x, 123);
+  const auto d = dot(x, x);
+  EXPECT_NEAR(d.real(), norm2(x), 1e-6 * d.real());
+  EXPECT_NEAR(d.imag(), 0.0, 1e-6 * d.real());
+}
+
+TYPED_TEST(BlasTest, DotConjugateSymmetry) {
+  using T = TypeParam;
+  FermionField<T> x(32), y(32);
+  gaussian(x, 1);
+  gaussian(y, 2);
+  const auto a = dot(x, y);
+  const auto b = dot(y, x);
+  EXPECT_NEAR(a.real(), b.real(), 1e-5);
+  EXPECT_NEAR(a.imag(), -b.imag(), 1e-5);
+}
+
+TYPED_TEST(BlasTest, AxpyLinearity) {
+  using T = TypeParam;
+  FermionField<T> x(48), y(48), expect(48);
+  gaussian(x, 3);
+  gaussian(y, 4);
+  copy(y, expect);
+  const Complex<T> a(T(0.5), T(-1.25));
+  axpy(a, x, y);
+  for (std::int64_t i = 0; i < x.size(); ++i)
+    for (int sp = 0; sp < kNumSpins; ++sp)
+      for (int c = 0; c < kNumColors; ++c)
+        EXPECT_LT(std::abs(y[i].s[sp].c[c] -
+                           (expect[i].s[sp].c[c] + a * x[i].s[sp].c[c])),
+                  1e-5);
+}
+
+TYPED_TEST(BlasTest, ScalThenNorm) {
+  using T = TypeParam;
+  FermionField<T> x(40);
+  gaussian(x, 5);
+  const double n0 = norm2(x);
+  scal(T(2), x);
+  EXPECT_NEAR(norm2(x), 4.0 * n0, 1e-5 * n0);
+}
+
+TYPED_TEST(BlasTest, SubThenZero) {
+  using T = TypeParam;
+  FermionField<T> x(16), z(16);
+  gaussian(x, 6);
+  sub(x, x, z);
+  EXPECT_EQ(norm2(z), 0.0);
+}
+
+TYPED_TEST(BlasTest, AxpyzMatchesAxpy) {
+  using T = TypeParam;
+  FermionField<T> x(24), y(24), z(24), y2(24);
+  gaussian(x, 7);
+  gaussian(y, 8);
+  copy(y, y2);
+  const Complex<T> a(T(-0.75), T(0.3));
+  axpyz(a, x, y, z);
+  axpy(a, x, y2);
+  // The two paths may contract multiplies and adds into FMA differently,
+  // so allow a few ulp.
+  for (std::int64_t i = 0; i < x.size(); ++i)
+    for (int sp = 0; sp < kNumSpins; ++sp)
+      for (int c = 0; c < kNumColors; ++c)
+        EXPECT_LT(std::abs(z[i].s[sp].c[c] - y2[i].s[sp].c[c]), 1e-5);
+}
+
+TEST(Blas, ConvertDoubleToFloatAndBack) {
+  FermionField<double> x(20);
+  gaussian(x, 9);
+  FermionField<float> f(20);
+  convert(x, f);
+  FermionField<double> back(20);
+  convert(f, back);
+  for (std::int64_t i = 0; i < x.size(); ++i)
+    for (int sp = 0; sp < kNumSpins; ++sp)
+      for (int c = 0; c < kNumColors; ++c)
+        EXPECT_NEAR(std::abs(back[i].s[sp].c[c] - x[i].s[sp].c[c]), 0.0,
+                    1e-6);
+}
+
+TEST(Blas, SizeMismatchThrows) {
+  FermionField<float> x(8), y(9);
+  EXPECT_THROW(axpy(1.0f, x, y), Error);
+  EXPECT_THROW(dot(x, y), Error);
+  FermionField<float> z(8);
+  EXPECT_THROW(sub(x, y, z), Error);
+}
+
+TEST(Blas, GaussianIsDeterministicInSeed) {
+  FermionField<double> a(32), b(32), c(32);
+  gaussian(a, 1234);
+  gaussian(b, 1234);
+  gaussian(c, 1235);
+  double same = 0, diff = 0;
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    same += norm2(a[i] - b[i]);
+    diff += norm2(a[i] - c[i]);
+  }
+  EXPECT_EQ(same, 0.0);
+  EXPECT_GT(diff, 1.0);
+}
+
+}  // namespace
+}  // namespace lqcd

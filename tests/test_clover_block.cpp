@@ -1,0 +1,126 @@
+// Packed Hermitian 6x6 blocks: apply, packing layout, inversion.
+#include <gtest/gtest.h>
+
+#include "lqcd/base/rng.h"
+#include "lqcd/su3/clover_block.h"
+
+namespace lqcd {
+namespace {
+
+PackedHermitian6<double> random_block(Rng& rng, double diag_shift = 5.0) {
+  PackedHermitian6<double> b;
+  for (int i = 0; i < kCloverBlockDim; ++i)
+    b.diag[i] = rng.gaussian() + diag_shift;  // keep well-conditioned
+  for (int k = 0; k < kCloverOffDiag; ++k)
+    b.offd[k] = Complex<double>(rng.gaussian(), rng.gaussian());
+  return b;
+}
+
+void apply_dense(const PackedHermitian6<double>& b,
+                 const Complex<double>* x, Complex<double>* y) {
+  const auto d = b.to_dense();
+  for (int i = 0; i < kCloverBlockDim; ++i) {
+    Complex<double> acc(0, 0);
+    for (int j = 0; j < kCloverBlockDim; ++j)
+      acc += d[static_cast<size_t>(i)][static_cast<size_t>(j)] * x[j];
+    y[i] = acc;
+  }
+}
+
+TEST(CloverBlock, PackedIndexIsLowerTriangleEnumeration) {
+  int expected = 0;
+  for (int i = 1; i < kCloverBlockDim; ++i)
+    for (int j = 0; j < i; ++j) EXPECT_EQ(packed_index(i, j), expected++);
+  EXPECT_EQ(expected, kCloverOffDiag);
+}
+
+TEST(CloverBlock, DenseFormIsHermitian) {
+  Rng rng(1);
+  const auto b = random_block(rng);
+  const auto d = b.to_dense();
+  for (int i = 0; i < kCloverBlockDim; ++i)
+    for (int j = 0; j < kCloverBlockDim; ++j)
+      EXPECT_EQ(d[static_cast<size_t>(i)][static_cast<size_t>(j)],
+                std::conj(d[static_cast<size_t>(j)][static_cast<size_t>(i)]));
+}
+
+TEST(CloverBlock, ApplyMatchesDense) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto b = random_block(rng);
+    Complex<double> x[6], y[6], yref[6];
+    for (auto& v : x) v = Complex<double>(rng.gaussian(), rng.gaussian());
+    b.apply(x, y);
+    apply_dense(b, x, yref);
+    for (int i = 0; i < 6; ++i) EXPECT_LT(std::abs(y[i] - yref[i]), 1e-12);
+  }
+}
+
+TEST(CloverBlock, ApplyPreservesHermitianQuadraticForm) {
+  // <x, Bx> must be real for Hermitian B.
+  Rng rng(3);
+  const auto b = random_block(rng);
+  Complex<double> x[6], y[6];
+  for (auto& v : x) v = Complex<double>(rng.gaussian(), rng.gaussian());
+  b.apply(x, y);
+  Complex<double> q(0, 0);
+  for (int i = 0; i < 6; ++i) q += std::conj(x[i]) * y[i];
+  EXPECT_LT(std::abs(q.imag()), 1e-12 * std::abs(q.real()) + 1e-12);
+}
+
+TEST(CloverBlock, IdentityAndDiagonalShift) {
+  PackedHermitian6<double> b;
+  b.identity();
+  b.add_diagonal(3.0);
+  Complex<double> x[6], y[6];
+  Rng rng(4);
+  for (auto& v : x) v = Complex<double>(rng.gaussian(), rng.gaussian());
+  b.apply(x, y);
+  for (int i = 0; i < 6; ++i) EXPECT_LT(std::abs(y[i] - 4.0 * x[i]), 1e-14);
+}
+
+TEST(CloverBlock, InverseIsTwoSidedInverse) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto b = random_block(rng);
+    const auto binv = invert(b);
+    Complex<double> x[6], mid[6], back[6];
+    for (auto& v : x) v = Complex<double>(rng.gaussian(), rng.gaussian());
+    b.apply(x, mid);
+    binv.apply(mid, back);
+    for (int i = 0; i < 6; ++i) EXPECT_LT(std::abs(back[i] - x[i]), 1e-10);
+    binv.apply(x, mid);
+    b.apply(mid, back);
+    for (int i = 0; i < 6; ++i) EXPECT_LT(std::abs(back[i] - x[i]), 1e-10);
+  }
+}
+
+TEST(CloverBlock, InverseOfIndefiniteBlock) {
+  // LU with pivoting must handle Hermitian but indefinite blocks.
+  Rng rng(6);
+  auto b = random_block(rng, 0.0);  // no diagonal dominance
+  b.diag[0] = -2.0;
+  b.diag[3] = -0.5;
+  const auto binv = invert(b);
+  Complex<double> x[6], mid[6], back[6];
+  for (auto& v : x) v = Complex<double>(rng.gaussian(), rng.gaussian());
+  b.apply(x, mid);
+  binv.apply(mid, back);
+  for (int i = 0; i < 6; ++i) EXPECT_LT(std::abs(back[i] - x[i]), 1e-9);
+}
+
+TEST(CloverBlock, SingularBlockThrows) {
+  PackedHermitian6<double> b;
+  b.zero();
+  EXPECT_THROW(invert(b), Error);
+}
+
+TEST(CloverBlock, PackedSizeMatchesPaper) {
+  // 6 real diagonal + 15 complex off-diagonal = 36 reals per block,
+  // 72 reals per site for two blocks (paper Sec. II-B).
+  EXPECT_EQ(6 + 2 * kCloverOffDiag, 36);
+  EXPECT_EQ(sizeof(PackedHermitian6<float>), 36 * sizeof(float));
+}
+
+}  // namespace
+}  // namespace lqcd

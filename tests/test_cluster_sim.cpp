@@ -1,0 +1,284 @@
+// Network model, node partition, and the Table III cluster simulator.
+#include <gtest/gtest.h>
+
+#include "lqcd/cluster/cluster_sim.h"
+
+namespace lqcd::cluster {
+namespace {
+
+TEST(Network, BandwidthCurveMonotone) {
+  NetworkSpec net;
+  double prev = 0;
+  for (double kb : {1.0, 8.0, 64.0, 256.0, 1024.0, 8192.0}) {
+    const double bw = effective_bandwidth_gbs(net, kb * 1024);
+    EXPECT_GT(bw, prev);
+    EXPECT_LT(bw, net.peak_bw_gbs);
+    prev = bw;
+  }
+  // Large messages approach peak.
+  EXPECT_GT(effective_bandwidth_gbs(net, 64e6), 0.95 * net.peak_bw_gbs);
+}
+
+TEST(Network, MessageTimeHasLatencyFloor) {
+  NetworkSpec net;
+  EXPECT_GE(message_seconds(net, 1.0), net.latency_us * 1e-6);
+  EXPECT_EQ(message_seconds(net, 0.0), 0.0);
+}
+
+TEST(Network, AllreduceScalesLogarithmically) {
+  NetworkSpec net;
+  EXPECT_EQ(allreduce_seconds(net, 1), 0.0);
+  const double t2 = allreduce_seconds(net, 2);
+  const double t64 = allreduce_seconds(net, 64);
+  const double t1024 = allreduce_seconds(net, 1024);
+  EXPECT_NEAR(t64 / t2, 6.0, 1e-9);
+  EXPECT_NEAR(t1024 / t2, 10.0, 1e-9);
+}
+
+TEST(NodePartition, UniformBasics) {
+  const auto p = NodePartition::uniform({48, 48, 48, 64}, {2, 2, 3, 2});
+  EXPECT_EQ(p.num_nodes(), 24);
+  ASSERT_EQ(p.groups().size(), 1u);
+  EXPECT_EQ(p.groups()[0].local, (Coord{24, 24, 16, 32}));
+  EXPECT_EQ(local_volume(p.groups()[0]), 48LL * 48 * 48 * 64 / 24);
+}
+
+TEST(NodePartition, UniformRejectsBadGrid) {
+  EXPECT_THROW(NodePartition::uniform({48, 48, 48, 64}, {5, 1, 1, 1}),
+               Error);
+}
+
+TEST(NodePartition, FaceSitesOnlyForCutDirections) {
+  const auto p = NodePartition::uniform({48, 48, 48, 64}, {1, 2, 3, 4});
+  const auto& g = p.groups()[0];
+  EXPECT_EQ(face_sites(p, g, 0), 0);  // x not cut
+  EXPECT_EQ(face_sites(p, g, 1), 48LL * 16 * 16);
+  EXPECT_EQ(face_sites(p, g, 2), 48LL * 24 * 16);
+  EXPECT_EQ(face_sites(p, g, 3), 48LL * 24 * 16);
+}
+
+TEST(NodePartition, PaperNonUniformSplit) {
+  // Sec. IV-C2: 64^3x128 on 640 KNCs, t = 4x28 + 16: load rises from 53%
+  // (1024 uniform) to 85%.
+  const auto p = NodePartition::nonuniform_t({64, 64, 64, 128}, {4, 4, 8},
+                                             {28, 28, 28, 28, 16});
+  EXPECT_EQ(p.num_nodes(), 640);
+  ASSERT_EQ(p.groups().size(), 2u);
+  std::int64_t nd_sum = 0;
+  int node_sum = 0;
+  for (const auto& g : p.groups()) {
+    const auto nd = knc::ndomain_per_color(local_volume(g), {8, 4, 4, 4});
+    EXPECT_TRUE(nd == 56 || nd == 32);  // paper: 56 and 32 domains
+    nd_sum += nd * g.count;
+    node_sum += g.count;
+  }
+  EXPECT_EQ(node_sum, 640);
+  // Average load (4*56 + 32)/(5*60) = 85%.
+  double load = 0;
+  for (const auto& g : p.groups())
+    load += g.count *
+            knc::core_load(knc::ndomain_per_color(local_volume(g),
+                                                  {8, 4, 4, 4}),
+                           60);
+  load /= 640.0;
+  EXPECT_NEAR(load, 0.853, 0.01);
+}
+
+TEST(NodePartition, ChoosePrefersFewerCutDimensions) {
+  const auto p = NodePartition::choose({48, 48, 48, 64}, 24, {8, 4, 4, 4});
+  EXPECT_EQ(p.num_nodes(), 24);
+  // Local dims must be divisible by the block.
+  const auto& g = p.groups()[0];
+  EXPECT_EQ(g.local[0] % 8, 0);
+  for (int mu = 1; mu < 4; ++mu)
+    EXPECT_EQ(g.local[static_cast<size_t>(mu)] % 4, 0);
+}
+
+struct PaperRow {
+  int nodes;
+  double time_s, m_pct, m_gflops, comm_mb, load_pct;
+};
+
+TEST(ClusterSim, TableThree48CubedDDRows) {
+  // Paper Table III, 48^3x64 DD block (m=16, k=6, ISchwarz=16, Idomain=5,
+  // 198 iterations, 423 global sums).
+  ClusterSim sim;
+  DDSolveSpec dd;
+  dd.lattice = {48, 48, 48, 64};
+  dd.block = {8, 4, 4, 4};
+  dd.outer_iterations = 198;
+  dd.ischwarz = 16;
+  dd.idomain = 5;
+  dd.basis_size = 16;
+  dd.deflation_size = 6;
+  dd.global_sum_events = 423;
+
+  const PaperRow rows[] = {
+      {24, 35.4, 85.8, 299, 15593, 96},
+      {32, 28.6, 86.5, 276, 13156, 90},
+      {64, 15.9, 85.9, 250, 8040, 90},
+      {128, 10.3, 83.4, 199, 5116, 90},
+  };
+  for (const auto& row : rows) {
+    const auto part = NodePartition::choose(dd.lattice, row.nodes, dd.block);
+    const auto r = sim.simulate_dd(dd, part);
+    EXPECT_NEAR(r.total_seconds, row.time_s, 0.25 * row.time_s)
+        << row.nodes << " nodes";
+    EXPECT_NEAR(r.pct(r.m), row.m_pct, 6.0) << row.nodes << " nodes";
+    EXPECT_NEAR(r.m.gflops_per_node(), row.m_gflops, 0.25 * row.m_gflops)
+        << row.nodes << " nodes";
+    EXPECT_NEAR(r.comm_mb_per_node, row.comm_mb, 0.25 * row.comm_mb)
+        << row.nodes << " nodes";
+    EXPECT_NEAR(100 * r.load, row.load_pct, 2.0) << row.nodes << " nodes";
+  }
+}
+
+TEST(ClusterSim, TableThree64CubedDDRows) {
+  // Paper Table III, 64^3x128 DD block (m=5, k=0, 10 iterations, 27 sums).
+  ClusterSim sim;
+  DDSolveSpec dd;
+  dd.lattice = {64, 64, 64, 128};
+  dd.block = {8, 4, 4, 4};
+  dd.outer_iterations = 10;
+  dd.ischwarz = 16;
+  dd.idomain = 5;
+  dd.basis_size = 5;
+  dd.deflation_size = 0;
+  dd.global_sum_events = 27;
+  // The paper's communicated volumes for this lattice are consistent with
+  // half-precision boundary buffers (24 B per half-spinor), unlike the
+  // 48^3x64 runs which match single precision — see EXPERIMENTS.md.
+  dd.half_precision_boundaries = true;
+
+  const PaperRow rows[] = {
+      {64, 3.34, 89.4, 300, 488, 95},
+      {128, 2.30, 90.0, 221, 293, 85},
+      {256, 1.22, 90.2, 204, 171, 71},
+      {512, 0.91, 91.1, 135, 98, 53},
+      {1024, 0.65, 86.7, 100, 61, 53},
+  };
+  for (const auto& row : rows) {
+    const auto part = NodePartition::choose(dd.lattice, row.nodes, dd.block);
+    const auto r = sim.simulate_dd(dd, part);
+    EXPECT_NEAR(r.total_seconds, row.time_s, 0.30 * row.time_s)
+        << row.nodes << " nodes";
+    EXPECT_NEAR(r.m.gflops_per_node(), row.m_gflops, 0.30 * row.m_gflops)
+        << row.nodes << " nodes";
+    EXPECT_NEAR(r.comm_mb_per_node, row.comm_mb, 0.30 * row.comm_mb)
+        << row.nodes << " nodes";
+    EXPECT_NEAR(100 * r.load, row.load_pct, 2.0) << row.nodes << " nodes";
+  }
+}
+
+TEST(ClusterSim, TableThreeNonDDRows) {
+  // Paper Table III, 48^3x64 non-DD (double BiCGstab). Iteration count
+  // derived from the published totals: ~4650 iterations, 23907 sums.
+  ClusterSim sim;
+  NonDDSolveSpec nd;
+  nd.lattice = {48, 48, 48, 64};
+  nd.iterations = 4650;
+  nd.global_sum_events = 23907;
+
+  const double paper_times[] = {168.5, 101.4, 78.4, 55.9, 51.4};
+  const int nodes[] = {12, 24, 36, 72, 144};
+  for (int i = 0; i < 5; ++i) {
+    const auto part =
+        NodePartition::choose(nd.lattice, nodes[i], {2, 2, 2, 2});
+    const auto r = sim.simulate_nondd(nd, part);
+    EXPECT_NEAR(r.total_seconds, paper_times[i], 0.25 * paper_times[i])
+        << nodes[i] << " nodes";
+  }
+}
+
+TEST(ClusterSim, HeadlineStrongScalingClaims) {
+  // The paper's headline: in the strong-scaling limit the DD solver is
+  // ~5x faster than the non-DD solver (48^3x64: 10.3 s on 128 KNCs vs
+  // 51.4 s on 144).
+  ClusterSim sim;
+  DDSolveSpec dd;
+  dd.lattice = {48, 48, 48, 64};
+  dd.block = {8, 4, 4, 4};
+  dd.outer_iterations = 198;
+  dd.basis_size = 16;
+  dd.deflation_size = 6;
+  dd.global_sum_events = 423;
+  const auto rdd = sim.simulate_dd(
+      dd, NodePartition::choose(dd.lattice, 128, dd.block));
+
+  NonDDSolveSpec nd;
+  nd.lattice = dd.lattice;
+  nd.iterations = 4650;
+  nd.global_sum_events = 23907;
+  const auto rnd = sim.simulate_nondd(
+      nd, NodePartition::choose(nd.lattice, 144, {2, 2, 2, 2}));
+
+  const double speedup = rnd.total_seconds / rdd.total_seconds;
+  EXPECT_GT(speedup, 3.5);
+  EXPECT_LT(speedup, 7.0);
+
+  // And the DD solver communicates and reduces far less.
+  EXPECT_LT(rdd.comm_mb_per_node * 3, rnd.comm_mb_per_node);
+  EXPECT_LT(rdd.global_sums * 10, rnd.global_sums);
+}
+
+TEST(ClusterSim, NonUniformPartitioningNeedsFewerNodes) {
+  // Sec. IV-C2: 640 KNCs with the 4x28+16 t-split reach performance
+  // similar to 1024 uniform KNCs.
+  ClusterSim sim;
+  DDSolveSpec dd;
+  dd.lattice = {64, 64, 64, 128};
+  dd.block = {8, 4, 4, 4};
+  dd.outer_iterations = 10;
+  dd.basis_size = 5;
+  dd.deflation_size = 0;
+  dd.global_sum_events = 27;
+
+  const auto r1024 = sim.simulate_dd(
+      dd, NodePartition::uniform(dd.lattice, {4, 4, 8, 8}));
+  const auto r640 = sim.simulate_dd(
+      dd, NodePartition::nonuniform_t(dd.lattice, {4, 4, 8},
+                                      {28, 28, 28, 28, 16}));
+  // Similar time-to-solution with 640 instead of 1024 KNCs.
+  EXPECT_NEAR(r640.total_seconds, r1024.total_seconds,
+              0.35 * r1024.total_seconds);
+  EXPECT_GT(r640.load, 0.8);
+  EXPECT_LT(r1024.load, 0.6);
+}
+
+TEST(ClusterSim, DDScalesFurtherThanNonDD) {
+  // Relative-speed curves (Fig. 6): the non-DD solver stops improving
+  // beyond ~72 nodes; the DD solver keeps gaining to 128.
+  ClusterSim sim;
+  DDSolveSpec dd;
+  dd.lattice = {48, 48, 48, 64};
+  dd.block = {8, 4, 4, 4};
+  dd.outer_iterations = 198;
+  dd.basis_size = 16;
+  dd.deflation_size = 6;
+  dd.global_sum_events = 423;
+  NonDDSolveSpec nd;
+  nd.lattice = dd.lattice;
+  nd.iterations = 4650;
+  nd.global_sum_events = 23907;
+
+  const double dd64 =
+      sim.simulate_dd(dd, NodePartition::choose(dd.lattice, 64, dd.block))
+          .total_seconds;
+  const double dd128 =
+      sim.simulate_dd(dd, NodePartition::choose(dd.lattice, 128, dd.block))
+          .total_seconds;
+  EXPECT_LT(dd128, 0.8 * dd64);  // still scaling at 128
+
+  const double nd72 =
+      sim.simulate_nondd(nd,
+                         NodePartition::choose(nd.lattice, 72, {2, 2, 2, 2}))
+          .total_seconds;
+  const double nd144 =
+      sim.simulate_nondd(
+             nd, NodePartition::choose(nd.lattice, 144, {2, 2, 2, 2}))
+          .total_seconds;
+  EXPECT_GT(nd144, 0.75 * nd72);  // flattened
+}
+
+}  // namespace
+}  // namespace lqcd::cluster

@@ -1,0 +1,222 @@
+// End-to-end tests of the public API: DDSolver (paper pipeline) and the
+// non-DD baselines, including the paper's mixed-precision claims.
+#include <gtest/gtest.h>
+
+#include "lqcd/core/dd_solver.h"
+#include "lqcd/core/nondd_solver.h"
+
+namespace lqcd {
+namespace {
+
+struct Problem {
+  Geometry geom;
+  GaugeField<double> gauge;
+  FermionField<double> b;
+
+  Problem(const Coord& dims, double disorder, std::uint64_t seed)
+      : geom(dims),
+        gauge([&] {
+          auto g = random_gauge_field<double>(geom, disorder, seed);
+          g.make_time_antiperiodic();
+          return g;
+        }()),
+        b(geom.volume()) {
+    gaussian(b, seed + 1);
+  }
+};
+
+double relative_residual(const WilsonCloverOperator<double>& op,
+                         const FermionField<double>& b,
+                         const FermionField<double>& x) {
+  FermionField<double> r(b.size());
+  op.apply(x, r);
+  sub(b, r, r);
+  return norm(r) / norm(b);
+}
+
+TEST(DDSolver, ConvergesToDoublePrecisionTarget) {
+  Problem prob({8, 8, 8, 8}, 0.7, 11);
+  DDSolverConfig cfg;
+  cfg.block = {4, 4, 4, 4};
+  cfg.basis_size = 16;
+  cfg.deflation_size = 4;
+  cfg.schwarz_iterations = 8;
+  cfg.block_mr_iterations = 5;
+  cfg.tolerance = 1e-10;
+  DDSolver solver(prob.geom, prob.gauge, 0.1, 1.0, cfg);
+  FermionField<double> x(prob.geom.volume());
+  const auto stats = solver.solve(prob.b, x);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(relative_residual(solver.op(), prob.b, x), 2e-10);
+  EXPECT_GT(solver.schwarz_stats().applications, 0);
+}
+
+TEST(DDSolver, HalfAndSinglePreconditionerConvergeAlike) {
+  // Paper Sec. IV-B1: half-precision storage in the preconditioner has no
+  // noticeable impact on solver convergence (<0.14% residual difference;
+  // same iteration counts in practice).
+  Problem prob({8, 8, 8, 8}, 0.7, 21);
+  DDSolverConfig cfg;
+  cfg.block = {4, 4, 4, 4};
+  // Weak preconditioner => gradual convergence over many iterations, the
+  // regime of the paper's production runs (where the <0.14% residual
+  // difference is quoted). A near-exact preconditioner would make the
+  // comparison degenerate (2-3 outer iterations).
+  cfg.schwarz_iterations = 1;
+  cfg.block_mr_iterations = 2;
+  cfg.tolerance = 1e-10;
+
+  cfg.half_precision_matrices = false;
+  DDSolver s_single(prob.geom, prob.gauge, 0.1, 1.0, cfg);
+  cfg.half_precision_matrices = true;
+  DDSolver s_half(prob.geom, prob.gauge, 0.1, 1.0, cfg);
+
+  FermionField<double> x1(prob.geom.volume()), x2(prob.geom.volume());
+  const auto st1 = s_single.solve(prob.b, x1);
+  const auto st2 = s_half.solve(prob.b, x2);
+  EXPECT_TRUE(st1.converged);
+  EXPECT_TRUE(st2.converged);
+  // Same or nearly the same outer iteration count.
+  EXPECT_LE(std::abs(st1.iterations - st2.iterations), 2)
+      << "single=" << st1.iterations << " half=" << st2.iterations;
+  // Residual histories track each other while above the fp16 noise floor.
+  const std::size_t n =
+      std::min(st1.residual_history.size(), st2.residual_history.size());
+  ASSERT_GT(n, 5u);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (st1.residual_history[i] < 1e-7) break;
+    EXPECT_NEAR(st2.residual_history[i] / st1.residual_history[i], 1.0, 0.25)
+        << "iteration " << i;
+  }
+}
+
+TEST(DDSolver, FarFewerOuterIterationsThanNonDD) {
+  Problem prob({8, 8, 8, 8}, 0.7, 31);
+  DDSolverConfig cfg;
+  cfg.block = {4, 4, 4, 4};
+  cfg.schwarz_iterations = 8;
+  cfg.tolerance = 1e-10;
+  DDSolver dd(prob.geom, prob.gauge, 0.1, 1.0, cfg);
+  FermionField<double> x_dd(prob.geom.volume());
+  const auto dd_stats = dd.solve(prob.b, x_dd);
+
+  NonDDSolverConfig ncfg;
+  ncfg.tolerance = 1e-10;
+  NonDDSolver nondd(prob.geom, prob.gauge, 0.1, 1.0, ncfg);
+  FermionField<double> x_nd(prob.geom.volume());
+  const auto nd_stats = nondd.solve(prob.b, x_nd);
+
+  EXPECT_TRUE(dd_stats.converged);
+  EXPECT_TRUE(nd_stats.converged);
+  EXPECT_LT(dd_stats.iterations * 5, nd_stats.iterations)
+      << "dd=" << dd_stats.iterations << " nondd=" << nd_stats.iterations;
+  // And far fewer global reductions (the strong-scaling win).
+  EXPECT_LT(dd_stats.global_sum_events * 5, nd_stats.global_sum_events);
+}
+
+TEST(DDSolver, SolutionsAgreeAcrossSolvers) {
+  Problem prob({8, 8, 8, 8}, 0.6, 41);
+  DDSolverConfig cfg;
+  cfg.block = {4, 4, 4, 4};
+  cfg.schwarz_iterations = 6;
+  cfg.tolerance = 1e-11;
+  DDSolver dd(prob.geom, prob.gauge, 0.2, 1.0, cfg);
+  FermionField<double> x_dd(prob.geom.volume());
+  dd.solve(prob.b, x_dd);
+
+  NonDDSolverConfig ncfg;
+  ncfg.tolerance = 1e-11;
+  NonDDSolver nondd(prob.geom, prob.gauge, 0.2, 1.0, ncfg);
+  FermionField<double> x_nd(prob.geom.volume());
+  nondd.solve(prob.b, x_nd);
+
+  sub(x_dd, x_nd, x_nd);
+  EXPECT_LT(norm(x_nd), 1e-7 * norm(x_dd));
+}
+
+TEST(NonDDSolver, MixedRichardsonMatchesDoubleBiCGstab) {
+  Problem prob({8, 4, 4, 8}, 0.6, 51);
+  NonDDSolverConfig c1;
+  c1.mode = NonDDSolverConfig::Mode::kDoubleBiCGstab;
+  c1.tolerance = 1e-10;
+  NonDDSolver s1(prob.geom, prob.gauge, 0.2, 1.0, c1);
+  FermionField<double> x1(prob.geom.volume());
+  const auto st1 = s1.solve(prob.b, x1);
+
+  NonDDSolverConfig c2 = c1;
+  c2.mode = NonDDSolverConfig::Mode::kMixedRichardson;
+  NonDDSolver s2(prob.geom, prob.gauge, 0.2, 1.0, c2);
+  FermionField<double> x2(prob.geom.volume());
+  const auto st2 = s2.solve(prob.b, x2);
+
+  EXPECT_TRUE(st1.converged);
+  EXPECT_TRUE(st2.converged);
+  EXPECT_LT(relative_residual(s2.op(), prob.b, x2), 2e-10);
+  sub(x1, x2, x2);
+  EXPECT_LT(norm(x2), 1e-6 * norm(x1));
+}
+
+TEST(DDSolver, AdditiveVariantAlsoConverges) {
+  Problem prob({8, 8, 8, 8}, 0.6, 61);
+  DDSolverConfig cfg;
+  cfg.block = {4, 4, 4, 4};
+  cfg.schwarz_iterations = 8;
+  cfg.additive_schwarz = true;
+  cfg.tolerance = 1e-10;
+  DDSolver solver(prob.geom, prob.gauge, 0.2, 1.0, cfg);
+  FermionField<double> x(prob.geom.volume());
+  const auto stats = solver.solve(prob.b, x);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(relative_residual(solver.op(), prob.b, x), 2e-10);
+}
+
+TEST(DDSolver, HarderMassRequiresMoreWorkButConverges) {
+  // Lowering the quark mass worsens conditioning (the physical-point
+  // effect the paper's production runs face). The sensitivity shows in the
+  // non-DD baseline's iteration count; the DD solver must still converge
+  // at the hard mass.
+  Problem prob({8, 8, 8, 8}, 0.7, 71);
+
+  NonDDSolverConfig ncfg;
+  ncfg.tolerance = 1e-10;
+  NonDDSolver nd_easy(prob.geom, prob.gauge, 0.5, 1.0, ncfg);
+  NonDDSolver nd_hard(prob.geom, prob.gauge, 0.02, 1.0, ncfg);
+  FermionField<double> x1(prob.geom.volume()), x2(prob.geom.volume());
+  const auto st_easy = nd_easy.solve(prob.b, x1);
+  const auto st_hard = nd_hard.solve(prob.b, x2);
+  EXPECT_TRUE(st_easy.converged);
+  EXPECT_TRUE(st_hard.converged);
+  EXPECT_GT(st_hard.iterations, st_easy.iterations);
+
+  DDSolverConfig cfg;
+  cfg.block = {4, 4, 4, 4};
+  cfg.schwarz_iterations = 8;
+  cfg.tolerance = 1e-10;
+  cfg.max_iterations = 4000;
+  DDSolver dd_hard(prob.geom, prob.gauge, 0.02, 1.0, cfg);
+  FermionField<double> x3(prob.geom.volume());
+  const auto st_dd = dd_hard.solve(prob.b, x3);
+  EXPECT_TRUE(st_dd.converged);
+  EXPECT_LT(st_dd.iterations * 3, st_hard.iterations);
+}
+
+TEST(DDSolver, HalfPrecisionSpinorsRemainStable) {
+  // The paper's Sec. VI open question: does fp16 spinor storage in the
+  // preconditioner destabilize the solve? With the flexible outer solver
+  // it must still reach the double-precision target.
+  Problem prob({8, 8, 8, 8}, 0.7, 91);
+  DDSolverConfig cfg;
+  cfg.block = {4, 4, 4, 4};
+  cfg.schwarz_iterations = 4;
+  cfg.half_precision_matrices = true;
+  cfg.half_precision_spinors = true;
+  cfg.tolerance = 1e-10;
+  DDSolver solver(prob.geom, prob.gauge, 0.1, 1.0, cfg);
+  FermionField<double> x(prob.geom.volume());
+  const auto stats = solver.solve(prob.b, x);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(relative_residual(solver.op(), prob.b, x), 2e-10);
+}
+
+}  // namespace
+}  // namespace lqcd

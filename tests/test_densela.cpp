@@ -1,0 +1,223 @@
+// Dense small-matrix kernels: LU solve, QR least squares, thin QR,
+// complex eigensolver.
+#include <gtest/gtest.h>
+
+#include "lqcd/base/rng.h"
+#include "lqcd/densela/matrix.h"
+
+namespace lqcd::densela {
+namespace {
+
+Matrix random_matrix(int rows, int cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i)
+    for (int j = 0; j < cols; ++j)
+      m(i, j) = Cplx(rng.gaussian(), rng.gaussian());
+  return m;
+}
+
+std::vector<Cplx> random_vector(int n, Rng& rng) {
+  std::vector<Cplx> v(static_cast<std::size_t>(n));
+  for (auto& z : v) z = Cplx(rng.gaussian(), rng.gaussian());
+  return v;
+}
+
+double residual_norm(const Matrix& a, const std::vector<Cplx>& y,
+                     const std::vector<Cplx>& b) {
+  const auto ay = mul(a, y);
+  double acc = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) acc += std::norm(ay[i] - b[i]);
+  return std::sqrt(acc);
+}
+
+TEST(DenseLA, SolveRecoversKnownSolution) {
+  Rng rng(1);
+  for (int n : {1, 2, 5, 12, 24}) {
+    const Matrix a = random_matrix(n, n, rng);
+    const auto x = random_vector(n, rng);
+    const auto b = mul(a, x);
+    const auto y = solve(a, b);
+    for (int i = 0; i < n; ++i)
+      EXPECT_LT(std::abs(y[static_cast<std::size_t>(i)] -
+                         x[static_cast<std::size_t>(i)]),
+                1e-9)
+          << "n=" << n;
+  }
+}
+
+TEST(DenseLA, SolveSingularThrows) {
+  Matrix a(3, 3);  // all zeros
+  EXPECT_THROW(solve(a, std::vector<Cplx>(3)), Error);
+}
+
+TEST(DenseLA, LeastSquaresSquareMatchesSolve) {
+  Rng rng(2);
+  const int n = 8;
+  const Matrix a = random_matrix(n, n, rng);
+  const auto b = random_vector(n, rng);
+  const auto y1 = least_squares(a, b);
+  const auto y2 = solve(a, b);
+  for (int i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(y1[static_cast<std::size_t>(i)] -
+                       y2[static_cast<std::size_t>(i)]),
+              1e-9);
+}
+
+TEST(DenseLA, LeastSquaresResidualIsOrthogonalToRange) {
+  Rng rng(3);
+  const int rows = 12, cols = 5;
+  const Matrix a = random_matrix(rows, cols, rng);
+  const auto b = random_vector(rows, rng);
+  const auto y = least_squares(a, b);
+  // r = b - A y must satisfy A^H r = 0.
+  const auto ay = mul(a, y);
+  std::vector<Cplx> r(static_cast<std::size_t>(rows));
+  for (int i = 0; i < rows; ++i)
+    r[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(i)] -
+                                     ay[static_cast<std::size_t>(i)];
+  const auto atr = mul(a.transpose_conj(), r);
+  for (int j = 0; j < cols; ++j)
+    EXPECT_LT(std::abs(atr[static_cast<std::size_t>(j)]), 1e-10);
+}
+
+TEST(DenseLA, LeastSquaresBeatsAnyPerturbation) {
+  Rng rng(4);
+  const int rows = 10, cols = 4;
+  const Matrix a = random_matrix(rows, cols, rng);
+  const auto b = random_vector(rows, rng);
+  auto y = least_squares(a, b);
+  const double base = residual_norm(a, y, b);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto y2 = y;
+    for (auto& z : y2) z += Cplx(0.01 * rng.gaussian(), 0.01 * rng.gaussian());
+    EXPECT_GE(residual_norm(a, y2, b), base - 1e-12);
+  }
+}
+
+TEST(DenseLA, ThinQrReconstructsAndIsOrthonormal) {
+  Rng rng(5);
+  const int rows = 9, cols = 6;
+  const Matrix a = random_matrix(rows, cols, rng);
+  Matrix q, r;
+  thin_qr(a, q, r);
+  // Q^H Q = I.
+  const Matrix qhq = mul(q.transpose_conj(), q);
+  for (int i = 0; i < cols; ++i)
+    for (int j = 0; j < cols; ++j)
+      EXPECT_LT(std::abs(qhq(i, j) - Cplx(i == j ? 1 : 0, 0)), 1e-12);
+  // QR = A.
+  const Matrix qr = mul(q, r);
+  for (int i = 0; i < rows; ++i)
+    for (int j = 0; j < cols; ++j)
+      EXPECT_LT(std::abs(qr(i, j) - a(i, j)), 1e-11);
+  // R upper triangular.
+  for (int i = 0; i < cols; ++i)
+    for (int j = 0; j < i; ++j) EXPECT_EQ(r(i, j), Cplx(0, 0));
+}
+
+TEST(DenseLA, ThinQrHandlesDependentColumns) {
+  Rng rng(6);
+  const int rows = 8;
+  Matrix a = random_matrix(rows, 3, rng);
+  // Column 2 = column 0 + column 1.
+  for (int i = 0; i < rows; ++i) a(i, 2) = a(i, 0) + a(i, 1);
+  Matrix q, r;
+  thin_qr(a, q, r);
+  const Matrix qhq = mul(q.transpose_conj(), q);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_LT(std::abs(qhq(i, j) - Cplx(i == j ? 1 : 0, 0)), 1e-10);
+}
+
+TEST(DenseLA, EigDiagonalMatrix) {
+  const int n = 5;
+  Matrix a(n, n);
+  const double vals[] = {3.0, -1.0, 0.5, 7.25, -4.5};
+  for (int i = 0; i < n; ++i) a(i, i) = Cplx(vals[i], 0);
+  auto res = eig(a);
+  std::vector<double> got;
+  for (const auto& v : res.values) {
+    EXPECT_LT(std::abs(v.imag()), 1e-12);
+    got.push_back(v.real());
+  }
+  std::sort(got.begin(), got.end());
+  std::vector<double> expect(vals, vals + n);
+  std::sort(expect.begin(), expect.end());
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(got[static_cast<std::size_t>(i)],
+                expect[static_cast<std::size_t>(i)], 1e-12);
+}
+
+TEST(DenseLA, EigPairsSatisfyDefinition) {
+  Rng rng(7);
+  for (int n : {2, 3, 6, 10, 16}) {
+    const Matrix a = random_matrix(n, n, rng);
+    const auto res = eig(a);
+    ASSERT_EQ(static_cast<int>(res.values.size()), n);
+    for (int j = 0; j < n; ++j) {
+      // ||A v - lambda v|| small relative to ||A||.
+      double err = 0, vnorm = 0;
+      for (int i = 0; i < n; ++i) {
+        Cplx acc(0, 0);
+        for (int k = 0; k < n; ++k) acc += a(i, k) * res.vectors(k, j);
+        acc -= res.values[static_cast<std::size_t>(j)] * res.vectors(i, j);
+        err += std::norm(acc);
+        vnorm += std::norm(res.vectors(i, j));
+      }
+      EXPECT_NEAR(vnorm, 1.0, 1e-8);
+      EXPECT_LT(std::sqrt(err), 1e-7 * n) << "n=" << n << " j=" << j;
+    }
+  }
+}
+
+TEST(DenseLA, EigKnownNonNormalMatrix) {
+  // [[1, 1], [0, 2]] has eigenvalues 1 and 2.
+  Matrix a(2, 2);
+  a(0, 0) = Cplx(1, 0);
+  a(0, 1) = Cplx(1, 0);
+  a(1, 1) = Cplx(2, 0);
+  const auto res = eig(a);
+  std::vector<double> got = {res.values[0].real(), res.values[1].real()};
+  std::sort(got.begin(), got.end());
+  EXPECT_NEAR(got[0], 1.0, 1e-12);
+  EXPECT_NEAR(got[1], 2.0, 1e-12);
+}
+
+TEST(DenseLA, EigComplexEigenvaluesOfRotation) {
+  // Real rotation matrix has eigenvalues exp(+-i theta).
+  const double theta = 0.7;
+  Matrix a(2, 2);
+  a(0, 0) = Cplx(std::cos(theta), 0);
+  a(0, 1) = Cplx(-std::sin(theta), 0);
+  a(1, 0) = Cplx(std::sin(theta), 0);
+  a(1, 1) = Cplx(std::cos(theta), 0);
+  auto res = eig(a);
+  std::sort(res.values.begin(), res.values.end(),
+            [](const Cplx& x, const Cplx& y) { return x.imag() < y.imag(); });
+  EXPECT_NEAR(res.values[0].real(), std::cos(theta), 1e-12);
+  EXPECT_NEAR(res.values[0].imag(), -std::sin(theta), 1e-12);
+  EXPECT_NEAR(res.values[1].imag(), std::sin(theta), 1e-12);
+}
+
+TEST(DenseLA, EigHessenbergInput) {
+  // Upper Hessenberg input (the GMRES-DR case).
+  Rng rng(8);
+  const int n = 12;
+  Matrix a = random_matrix(n, n, rng);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < i - 1; ++j) a(i, j) = Cplx(0, 0);
+  const auto res = eig(a);
+  for (int j = 0; j < n; ++j) {
+    double err = 0;
+    for (int i = 0; i < n; ++i) {
+      Cplx acc(0, 0);
+      for (int k = 0; k < n; ++k) acc += a(i, k) * res.vectors(k, j);
+      acc -= res.values[static_cast<std::size_t>(j)] * res.vectors(i, j);
+      err += std::norm(acc);
+    }
+    EXPECT_LT(std::sqrt(err), 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace lqcd::densela

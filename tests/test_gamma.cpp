@@ -1,0 +1,227 @@
+// Gamma-matrix algebra: Clifford relations, gamma_5, sigma_{mu,nu}, and the
+// Wilson projection/reconstruction trick against dense application.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "lqcd/base/rng.h"
+#include "lqcd/su3/gamma.h"
+
+namespace lqcd {
+namespace {
+
+using Dense = std::array<std::array<Complex<double>, 4>, 4>;
+
+Complex<double> phase_value(Phase p) {
+  switch (p) {
+    case Phase::kPlusOne:
+      return {1, 0};
+    case Phase::kMinusOne:
+      return {-1, 0};
+    case Phase::kPlusI:
+      return {0, 1};
+    default:
+      return {0, -1};
+  }
+}
+
+Dense to_dense(const PermPhaseMatrix& m) {
+  Dense d{};
+  for (int r = 0; r < 4; ++r)
+    d[static_cast<size_t>(r)][static_cast<size_t>(m.col[static_cast<size_t>(r)])] =
+        phase_value(m.phase[static_cast<size_t>(r)]);
+  return d;
+}
+
+Dense mul(const Dense& a, const Dense& b) {
+  Dense c{};
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      for (int k = 0; k < 4; ++k)
+        c[static_cast<size_t>(i)][static_cast<size_t>(j)] +=
+            a[static_cast<size_t>(i)][static_cast<size_t>(k)] *
+            b[static_cast<size_t>(k)][static_cast<size_t>(j)];
+  return c;
+}
+
+void expect_equal(const Dense& a, const Dense& b, double tol = 1e-15) {
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      EXPECT_LT(std::abs(a[static_cast<size_t>(i)][static_cast<size_t>(j)] -
+                         b[static_cast<size_t>(i)][static_cast<size_t>(j)]),
+                tol)
+          << "entry (" << i << "," << j << ")";
+}
+
+Dense identity(double scale = 1.0) {
+  Dense d{};
+  for (int i = 0; i < 4; ++i)
+    d[static_cast<size_t>(i)][static_cast<size_t>(i)] = {scale, 0};
+  return d;
+}
+
+TEST(Gamma, CliffordAlgebra) {
+  // {gamma_mu, gamma_nu} = 2 delta_{mu,nu}.
+  for (int mu = 0; mu < 4; ++mu)
+    for (int nu = 0; nu < 4; ++nu) {
+      const Dense gmu = to_dense(kGamma[static_cast<size_t>(mu)]);
+      const Dense gnu = to_dense(kGamma[static_cast<size_t>(nu)]);
+      Dense anti = mul(gmu, gnu);
+      const Dense ba = mul(gnu, gmu);
+      for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+          anti[static_cast<size_t>(i)][static_cast<size_t>(j)] +=
+              ba[static_cast<size_t>(i)][static_cast<size_t>(j)];
+      expect_equal(anti, identity(mu == nu ? 2.0 : 0.0));
+    }
+}
+
+TEST(Gamma, GammasAreHermitian) {
+  for (int mu = 0; mu < 4; ++mu) {
+    const Dense g = to_dense(kGamma[static_cast<size_t>(mu)]);
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j)
+        EXPECT_LT(
+            std::abs(g[static_cast<size_t>(i)][static_cast<size_t>(j)] -
+                     std::conj(
+                         g[static_cast<size_t>(j)][static_cast<size_t>(i)])),
+            1e-15);
+  }
+}
+
+TEST(Gamma, Gamma5IsChiralDiagonal) {
+  const Dense g5 = to_dense(kGamma5);
+  Dense expect{};
+  expect[0][0] = {1, 0};
+  expect[1][1] = {1, 0};
+  expect[2][2] = {-1, 0};
+  expect[3][3] = {-1, 0};
+  expect_equal(g5, expect);
+}
+
+TEST(Gamma, Gamma5AnticommutesWithGammaMu) {
+  const Dense g5 = to_dense(kGamma5);
+  for (int mu = 0; mu < 4; ++mu) {
+    const Dense g = to_dense(kGamma[static_cast<size_t>(mu)]);
+    Dense anti = mul(g5, g);
+    const Dense ba = mul(g, g5);
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j)
+        anti[static_cast<size_t>(i)][static_cast<size_t>(j)] +=
+            ba[static_cast<size_t>(i)][static_cast<size_t>(j)];
+    expect_equal(anti, identity(0.0));
+  }
+}
+
+TEST(Gamma, SigmaMuNuIsHermitianAndChiralityBlockDiagonal) {
+  for (int mu = 0; mu < 4; ++mu)
+    for (int nu = 0; nu < 4; ++nu) {
+      if (mu == nu) continue;
+      const PermPhaseMatrix sig = sigma_munu(mu, nu);
+      const Dense d = to_dense(sig);
+      // Hermitian.
+      for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+          EXPECT_LT(
+              std::abs(d[static_cast<size_t>(i)][static_cast<size_t>(j)] -
+                       std::conj(d[static_cast<size_t>(j)]
+                                  [static_cast<size_t>(i)])),
+              1e-15);
+      // Block diagonal in chirality: no mixing between {0,1} and {2,3}.
+      for (int i = 0; i < 2; ++i)
+        for (int j = 2; j < 4; ++j) {
+          EXPECT_EQ(std::abs(d[static_cast<size_t>(i)][static_cast<size_t>(j)]),
+                    0.0);
+          EXPECT_EQ(std::abs(d[static_cast<size_t>(j)][static_cast<size_t>(i)]),
+                    0.0);
+        }
+    }
+}
+
+TEST(Gamma, SigmaAntisymmetry) {
+  for (int mu = 0; mu < 4; ++mu)
+    for (int nu = 0; nu < 4; ++nu) {
+      if (mu == nu) continue;
+      const Dense a = to_dense(sigma_munu(mu, nu));
+      const Dense b = to_dense(sigma_munu(nu, mu));
+      for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+          EXPECT_LT(std::abs(a[static_cast<size_t>(i)][static_cast<size_t>(j)] +
+                             b[static_cast<size_t>(i)][static_cast<size_t>(j)]),
+                    1e-15);
+    }
+}
+
+Spinor<double> random_spinor(Rng& rng) {
+  Spinor<double> s;
+  for (int sp = 0; sp < 4; ++sp)
+    for (int c = 0; c < 3; ++c)
+      s.s[sp].c[c] = Complex<double>(rng.gaussian(), rng.gaussian());
+  return s;
+}
+
+// Dense reference of (1 + sign*gamma_mu) psi.
+Spinor<double> dense_projector(const Spinor<double>& psi, int mu, int sign) {
+  const Dense g = to_dense(kGamma[static_cast<size_t>(mu)]);
+  Spinor<double> out;
+  out.zero();
+  for (int r = 0; r < 4; ++r)
+    for (int k = 0; k < 4; ++k) {
+      Complex<double> coeff =
+          g[static_cast<size_t>(r)][static_cast<size_t>(k)] *
+          Complex<double>(sign, 0);
+      if (r == k) coeff += Complex<double>(1, 0);
+      for (int c = 0; c < 3; ++c) out.s[r].c[c] += coeff * psi.s[k].c[c];
+    }
+  return out;
+}
+
+TEST(Gamma, ProjectReconstructMatchesDenseProjector) {
+  Rng rng(11);
+  for (int mu = 0; mu < 4; ++mu)
+    for (int sign : {-1, +1}) {
+      const Spinor<double> psi = random_spinor(rng);
+      const HalfSpinor<double> h = project(psi, mu, sign);
+      Spinor<double> rec;
+      rec.zero();
+      reconstruct_add(rec, h, mu, sign);
+      const Spinor<double> ref = dense_projector(psi, mu, sign);
+      for (int sp = 0; sp < 4; ++sp)
+        for (int c = 0; c < 3; ++c)
+          EXPECT_LT(std::abs(rec.s[sp].c[c] - ref.s[sp].c[c]), 1e-14)
+              << "mu=" << mu << " sign=" << sign << " spin=" << sp;
+    }
+}
+
+TEST(Gamma, ProjectorIsRankTwo) {
+  // (1 + sign*gamma_mu)^2 = 2 (1 + sign*gamma_mu).
+  Rng rng(12);
+  for (int mu = 0; mu < 4; ++mu)
+    for (int sign : {-1, +1}) {
+      const Spinor<double> psi = random_spinor(rng);
+      const Spinor<double> once = dense_projector(psi, mu, sign);
+      const Spinor<double> twice = dense_projector(once, mu, sign);
+      for (int sp = 0; sp < 4; ++sp)
+        for (int c = 0; c < 3; ++c)
+          EXPECT_LT(std::abs(twice.s[sp].c[c] - 2.0 * once.s[sp].c[c]),
+                    1e-13);
+    }
+}
+
+TEST(Gamma, PhaseMultiplicationTable) {
+  const Complex<double> one{1, 0};
+  for (Phase a : {Phase::kPlusOne, Phase::kMinusOne, Phase::kPlusI,
+                  Phase::kMinusI})
+    for (Phase b : {Phase::kPlusOne, Phase::kMinusOne, Phase::kPlusI,
+                    Phase::kMinusI}) {
+      const auto lhs = phase_value(a * b);
+      const auto rhs = phase_value(a) * phase_value(b);
+      EXPECT_LT(std::abs(lhs - rhs), 1e-15);
+      // mul_phase agrees with explicit multiplication.
+      EXPECT_LT(std::abs(mul_phase(a, phase_value(b)) - rhs), 1e-15);
+      (void)one;
+    }
+}
+
+}  // namespace
+}  // namespace lqcd

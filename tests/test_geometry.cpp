@@ -1,0 +1,100 @@
+// Lattice geometry: indexing, neighbors, parity, checkerboarding.
+#include <gtest/gtest.h>
+
+#include "lqcd/lattice/checkerboard.h"
+#include "lqcd/lattice/geometry.h"
+
+namespace lqcd {
+namespace {
+
+TEST(Geometry, IndexCoordRoundTrip) {
+  const Geometry g({4, 6, 2, 8});
+  EXPECT_EQ(g.volume(), 4 * 6 * 2 * 8);
+  for (std::int32_t i = 0; i < g.volume(); ++i) {
+    const Coord c = g.coord(i);
+    EXPECT_EQ(g.index(c), i);
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      EXPECT_GE(c[static_cast<size_t>(mu)], 0);
+      EXPECT_LT(c[static_cast<size_t>(mu)], g.dim(mu));
+    }
+  }
+}
+
+TEST(Geometry, RejectsOddAndTinyDims) {
+  EXPECT_THROW(Geometry({3, 4, 4, 4}), Error);
+  EXPECT_THROW(Geometry({4, 4, 4, 5}), Error);
+  EXPECT_THROW(Geometry({0, 4, 4, 4}), Error);
+}
+
+TEST(Geometry, NeighborsAreInverse) {
+  const Geometry g({4, 4, 6, 2});
+  for (std::int32_t i = 0; i < g.volume(); ++i)
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      const auto f = g.neighbor(i, mu, Dir::kForward);
+      EXPECT_EQ(g.neighbor(f, mu, Dir::kBackward), i);
+      const auto b = g.neighbor(i, mu, Dir::kBackward);
+      EXPECT_EQ(g.neighbor(b, mu, Dir::kForward), i);
+    }
+}
+
+TEST(Geometry, NeighborsWrapPeriodically) {
+  const Geometry g({4, 4, 4, 4});
+  const Coord origin{0, 0, 0, 0};
+  for (int mu = 0; mu < kNumDims; ++mu) {
+    Coord expect = origin;
+    expect[static_cast<size_t>(mu)] = g.dim(mu) - 1;
+    EXPECT_EQ(g.neighbor(g.index(origin), mu, Dir::kBackward),
+              g.index(expect));
+  }
+}
+
+TEST(Geometry, NeighborsFlipParity) {
+  const Geometry g({4, 6, 4, 2});
+  for (std::int32_t i = 0; i < g.volume(); ++i)
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      EXPECT_NE(g.parity(i), g.parity(g.neighbor(i, mu, Dir::kForward)));
+      EXPECT_NE(g.parity(i), g.parity(g.neighbor(i, mu, Dir::kBackward)));
+    }
+}
+
+TEST(Geometry, WrapsForwardDetection) {
+  const Geometry g({4, 4, 4, 6});
+  int wraps = 0;
+  for (std::int32_t i = 0; i < g.volume(); ++i)
+    if (g.wraps_forward(g.coord(i), 3)) ++wraps;
+  // Exactly one t-slice wraps.
+  EXPECT_EQ(wraps, g.volume() / g.dim(3));
+}
+
+TEST(Checkerboard, SplitsVolumeInHalf) {
+  const Geometry g({4, 4, 6, 2});
+  const Checkerboard cb(g);
+  EXPECT_EQ(cb.half_volume(), g.volume() / 2);
+  EXPECT_EQ(static_cast<std::int64_t>(cb.sites(0).size()), cb.half_volume());
+  EXPECT_EQ(static_cast<std::int64_t>(cb.sites(1).size()), cb.half_volume());
+}
+
+TEST(Checkerboard, IndexRoundTrip) {
+  const Geometry g({4, 4, 4, 4});
+  const Checkerboard cb(g);
+  for (std::int32_t i = 0; i < g.volume(); ++i) {
+    const int p = g.parity(i);
+    EXPECT_EQ(cb.full_index(p, cb.cb_index(i)), i);
+  }
+}
+
+TEST(Checkerboard, PartitionsAreDisjointAndComplete) {
+  const Geometry g({2, 4, 6, 4});
+  const Checkerboard cb(g);
+  std::vector<bool> seen(static_cast<size_t>(g.volume()), false);
+  for (int p = 0; p < 2; ++p)
+    for (const auto s : cb.sites(p)) {
+      EXPECT_FALSE(seen[static_cast<size_t>(s)]);
+      seen[static_cast<size_t>(s)] = true;
+      EXPECT_EQ(g.parity(s), p);
+    }
+  for (const bool b : seen) EXPECT_TRUE(b);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,111 @@
+// Quenched Metropolis gauge generation: staple identity, acceptance,
+// beta-dependence of the plaquette, group preservation.
+#include <gtest/gtest.h>
+
+#include "lqcd/gauge/monte_carlo.h"
+
+namespace lqcd {
+namespace {
+
+TEST(MonteCarlo, StapleReproducesPlaquetteSum) {
+  // Re tr[U_mu(x) S(x,mu)] equals the sum of Re tr of the 6 plaquettes
+  // containing that link; summing over all links counts every plaquette
+  // 4 times (once per link it contains).
+  const Geometry geom({4, 4, 4, 4});
+  auto u = random_gauge_field<double>(geom, 0.5, 3);
+  double via_staples = 0;
+  for (std::int32_t x = 0; x < geom.volume(); ++x)
+    for (int mu = 0; mu < kNumDims; ++mu)
+      via_staples +=
+          trace(mul(u.link(x, mu), staple_sum(u, x, mu))).real();
+  const double via_plaquette =
+      average_plaquette(u) * 3.0 * 6.0 * static_cast<double>(geom.volume());
+  EXPECT_NEAR(via_staples, 4.0 * via_plaquette,
+              1e-9 * std::abs(via_staples));
+}
+
+TEST(MonteCarlo, SweepKeepsLinksOnTheGroup) {
+  const Geometry geom({4, 4, 4, 4});
+  GaugeField<double> u(geom);
+  Rng rng(5);
+  MetropolisParams p;
+  p.beta = 5.7;
+  metropolis_sweep(u, p, rng);
+  for (std::int32_t x = 0; x < geom.volume(); ++x)
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      EXPECT_LT(unitarity_error(u.link(x, mu)), 1e-12);
+      EXPECT_LT(std::abs(det(u.link(x, mu)) - Complex<double>(1, 0)),
+                1e-12);
+    }
+}
+
+TEST(MonteCarlo, AcceptanceIsReasonable) {
+  // Measure acceptance on an equilibrated configuration (from a cold
+  // start every proposal moves against the maximal action, so the first
+  // sweep's acceptance is artificially low).
+  const Geometry geom({4, 4, 4, 4});
+  GaugeField<double> u(geom);
+  Rng rng(7);
+  MetropolisParams p;
+  p.beta = 5.7;
+  equilibrate(u, p, rng, 10);
+  const auto stats = metropolis_sweep(u, p, rng);
+  EXPECT_EQ(stats.proposals,
+            geom.volume() * kNumDims * p.hits_per_link);
+  EXPECT_GT(stats.acceptance(), 0.15);
+  EXPECT_LT(stats.acceptance(), 0.999);
+}
+
+TEST(MonteCarlo, PlaquetteIncreasesWithBeta) {
+  // Equilibrated plaquette is a monotone function of beta; at large beta
+  // it approaches 1, at beta -> 0 it approaches 0.
+  const Geometry geom({4, 4, 4, 4});
+  double prev = -0.1;
+  for (const double beta : {0.5, 2.0, 5.7, 12.0}) {
+    GaugeField<double> u(geom);
+    Rng rng(11);
+    MetropolisParams p;
+    p.beta = beta;
+    const double plaq = equilibrate(u, p, rng, 12);
+    EXPECT_GT(plaq, prev) << "beta=" << beta;
+    prev = plaq;
+  }
+  EXPECT_GT(prev, 0.75);  // beta = 12 is smooth
+}
+
+TEST(MonteCarlo, HotAndColdStartsConverge) {
+  // The chain must forget its initial condition: plaquettes from a cold
+  // (unit) and a hot (random) start agree after equilibration.
+  const Geometry geom({4, 4, 4, 4});
+  MetropolisParams p;
+  p.beta = 5.7;
+
+  GaugeField<double> cold(geom);
+  Rng rng1(13);
+  const double plaq_cold = equilibrate(cold, p, rng1, 80);
+
+  auto hot = random_gauge_field<double>(geom, 1.0, 14);
+  Rng rng2(15);
+  const double plaq_hot = equilibrate(hot, p, rng2, 80);
+
+  EXPECT_NEAR(plaq_cold, plaq_hot, 0.10);
+  EXPECT_GT(plaq_cold, 0.3);
+  EXPECT_LT(plaq_cold, 0.8);
+}
+
+TEST(MonteCarlo, DeterministicGivenSeed) {
+  const Geometry geom({4, 4, 4, 4});
+  GaugeField<double> u1(geom), u2(geom);
+  MetropolisParams p;
+  Rng r1(99), r2(99);
+  metropolis_sweep(u1, p, r1);
+  metropolis_sweep(u2, p, r2);
+  for (std::int32_t x = 0; x < geom.volume(); ++x)
+    for (int mu = 0; mu < kNumDims; ++mu)
+      for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+          EXPECT_EQ(u1.link(x, mu).m[i][j], u2.link(x, mu).m[i][j]);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,122 @@
+// SU(3) algebra: unitarity, multiplication identities, random generation.
+#include <gtest/gtest.h>
+
+#include "lqcd/base/rng.h"
+#include "lqcd/su3/su3.h"
+
+namespace lqcd {
+namespace {
+
+constexpr double kTol = 1e-13;
+
+SU3<double> random_matrix(Rng& rng) {
+  SU3<double> a;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      a.m[i][j] = Complex<double>(rng.gaussian(), rng.gaussian());
+  return a;
+}
+
+TEST(SU3, RandomIsSpecialUnitary) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto u = random_su3<double>(rng, 1.0);
+    EXPECT_LT(unitarity_error(u), 1e-12);
+    const auto d = det(u);
+    EXPECT_NEAR(d.real(), 1.0, 1e-12);
+    EXPECT_NEAR(d.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(SU3, SmallDisorderIsNearUnit) {
+  Rng rng(2);
+  const auto u = random_su3<double>(rng, 0.01);
+  double offdiag = 0;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      if (i != j) offdiag += std::norm(u.m[i][j]);
+  EXPECT_LT(std::sqrt(offdiag), 0.1);
+  EXPECT_GT(trace(u).real(), 2.9);
+}
+
+TEST(SU3, MulAdjMatchesAdjointMul) {
+  Rng rng(3);
+  const auto a = random_matrix(rng);
+  const auto b = random_matrix(rng);
+  const auto c1 = mul_adj(a, b);
+  const auto c2 = mul(a, adjoint(b));
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_LT(std::abs(c1.m[i][j] - c2.m[i][j]), kTol);
+  const auto d1 = adj_mul(a, b);
+  const auto d2 = mul(adjoint(a), b);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_LT(std::abs(d1.m[i][j] - d2.m[i][j]), kTol);
+}
+
+TEST(SU3, VectorMulAdjIsInverseForUnitary) {
+  Rng rng(4);
+  const auto u = random_su3<double>(rng, 1.0);
+  ColorVector<double> x;
+  for (int c = 0; c < 3; ++c)
+    x.c[c] = Complex<double>(rng.gaussian(), rng.gaussian());
+  const auto y = mul(u, x);
+  const auto back = mul_adj(u, y);
+  for (int c = 0; c < 3; ++c) EXPECT_LT(std::abs(back.c[c] - x.c[c]), 1e-12);
+}
+
+TEST(SU3, MulAssociativity) {
+  Rng rng(5);
+  const auto a = random_matrix(rng);
+  const auto b = random_matrix(rng);
+  const auto c = random_matrix(rng);
+  const auto l = mul(mul(a, b), c);
+  const auto r = mul(a, mul(b, c));
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_LT(std::abs(l.m[i][j] - r.m[i][j]), 1e-11);
+}
+
+TEST(SU3, ReunitarizeFixesPerturbation) {
+  Rng rng(6);
+  auto u = random_su3<double>(rng, 1.0);
+  // Perturb away from the group.
+  u.m[1][2] += Complex<double>(1e-3, -2e-3);
+  EXPECT_GT(unitarity_error(u), 1e-4);
+  const auto v = reunitarize(u);
+  EXPECT_LT(unitarity_error(v), 1e-14);
+  EXPECT_LT(std::abs(det(v) - Complex<double>(1, 0)), 1e-14);
+}
+
+TEST(SU3, ExpOfZeroIsIdentity) {
+  SU3<double> h;
+  h.zero();
+  const auto u = expm(h);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_NEAR(std::abs(u.m[i][j] - Complex<double>(i == j ? 1 : 0, 0)),
+                  0.0, kTol);
+}
+
+TEST(SU3, AntihermitianGeneratorProperties) {
+  Rng rng(7);
+  const auto h = random_antihermitian<double>(rng, 0.7);
+  // H^dag = -H and tr H = 0.
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_LT(std::abs(std::conj(h.m[j][i]) + h.m[i][j]), kTol);
+  EXPECT_LT(std::abs(trace(h)), kTol);
+}
+
+TEST(SU3, TraceOfProductCyclic) {
+  Rng rng(8);
+  const auto a = random_matrix(rng);
+  const auto b = random_matrix(rng);
+  const auto t1 = trace(mul(a, b));
+  const auto t2 = trace(mul(b, a));
+  EXPECT_LT(std::abs(t1 - t2), 1e-12);
+}
+
+}  // namespace
+}  // namespace lqcd

@@ -1,0 +1,351 @@
+// Wilson-Clover operator: reference-implementation cross-checks, free-field
+// plane-wave spectrum, gamma5-hermiticity, clover properties, and the
+// even-odd Schur-complement identities.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "lqcd/dirac/wilson_clover.h"
+#include "lqcd/gauge/gauge_field.h"
+#include "lqcd/linalg/blas.h"
+
+namespace lqcd {
+namespace {
+
+using Dense4 = std::array<std::array<Complex<double>, 4>, 4>;
+
+Complex<double> phase_value(Phase p) {
+  switch (p) {
+    case Phase::kPlusOne:
+      return {1, 0};
+    case Phase::kMinusOne:
+      return {-1, 0};
+    case Phase::kPlusI:
+      return {0, 1};
+    default:
+      return {0, -1};
+  }
+}
+
+Dense4 dense_gamma(int mu) {
+  Dense4 d{};
+  const auto& g = kGamma[static_cast<size_t>(mu)];
+  for (int r = 0; r < 4; ++r)
+    d[static_cast<size_t>(r)][static_cast<size_t>(
+        g.col[static_cast<size_t>(r)])] =
+        phase_value(g.phase[static_cast<size_t>(r)]);
+  return d;
+}
+
+// Completely independent reference D_w: dense (1 -/+ gamma) matrices,
+// explicit SU(3) multiplication, no projection trick.
+void reference_dslash(const Geometry& g, const GaugeField<double>& u,
+                      const FermionField<double>& in,
+                      FermionField<double>& out) {
+  for (std::int32_t x = 0; x < g.volume(); ++x) {
+    Spinor<double> acc;
+    acc.zero();
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      const Dense4 gm = dense_gamma(mu);
+      // Forward: (1 - gamma_mu) U psi(x+mu).
+      {
+        const std::int32_t xf = g.neighbor(x, mu, Dir::kForward);
+        Spinor<double> ux;
+        for (int sp = 0; sp < 4; ++sp)
+          ux.s[sp] = mul(u.link(x, mu), in[xf].s[sp]);
+        for (int r = 0; r < 4; ++r)
+          for (int k = 0; k < 4; ++k) {
+            Complex<double> coeff =
+                (r == k ? Complex<double>(1, 0) : Complex<double>(0, 0)) -
+                gm[static_cast<size_t>(r)][static_cast<size_t>(k)];
+            for (int c = 0; c < 3; ++c)
+              acc.s[r].c[c] += coeff * ux.s[k].c[c];
+          }
+      }
+      // Backward: (1 + gamma_mu) U^dag psi(x-mu).
+      {
+        const std::int32_t xb = g.neighbor(x, mu, Dir::kBackward);
+        Spinor<double> ux;
+        for (int sp = 0; sp < 4; ++sp)
+          ux.s[sp] = mul_adj(u.link(xb, mu), in[xb].s[sp]);
+        for (int r = 0; r < 4; ++r)
+          for (int k = 0; k < 4; ++k) {
+            Complex<double> coeff =
+                (r == k ? Complex<double>(1, 0) : Complex<double>(0, 0)) +
+                gm[static_cast<size_t>(r)][static_cast<size_t>(k)];
+            for (int c = 0; c < 3; ++c)
+              acc.s[r].c[c] += coeff * ux.s[k].c[c];
+          }
+      }
+    }
+    out[x] = acc;
+  }
+}
+
+struct Fixture {
+  Geometry geom;
+  Checkerboard cb;
+  GaugeField<double> gauge;
+
+  Fixture(const Coord& dims, double disorder, std::uint64_t seed,
+        bool antiperiodic = true)
+      : geom(dims),
+        cb(geom),
+        gauge(random_gauge_field<double>(geom, disorder, seed)) {
+    if (antiperiodic) gauge.make_time_antiperiodic();
+  }
+};
+
+TEST(WilsonClover, DslashMatchesDenseReference) {
+  Fixture s({4, 4, 4, 4}, 0.8, 11);
+  WilsonCloverOperator<double> op(s.geom, s.cb, s.gauge, 0.1, 1.2);
+  FermionField<double> in(s.geom.volume()), out(s.geom.volume()),
+      ref(s.geom.volume());
+  gaussian(in, 99);
+  op.apply_dslash(in, out);
+  reference_dslash(s.geom, s.gauge, in, ref);
+  sub(out, ref, ref);
+  EXPECT_LT(norm(ref), 1e-11 * norm(out));
+}
+
+TEST(WilsonClover, FreeFieldPlaneWaveSpectrum) {
+  // On the unit gauge field (periodic), A acts on a plane wave
+  // psi(x) = w exp(i p.x) as the momentum-space matrix
+  //   A(p) = (4 + m - sum_mu cos p_mu) + i sum_mu gamma_mu sin p_mu,
+  // and the clover term vanishes. We verify the field-level application
+  // against the dense 4x4 momentum-space matrix.
+  const Geometry geom({4, 6, 4, 8});
+  const Checkerboard cb(geom);
+  GaugeField<double> gauge(geom);  // unit links, periodic
+  const double mass = 0.2, csw = 1.7;
+  WilsonCloverOperator<double> op(geom, cb, gauge, mass, csw);
+
+  const std::array<int, 4> k = {1, 2, 3, 5};
+  double p[4], sum_cos = 0;
+  for (int mu = 0; mu < 4; ++mu) {
+    p[mu] = 2.0 * M_PI * k[static_cast<size_t>(mu)] / geom.dim(mu);
+    sum_cos += std::cos(p[mu]);
+  }
+
+  Spinor<double> w;
+  Rng rng(3);
+  for (int sp = 0; sp < 4; ++sp)
+    for (int c = 0; c < 3; ++c)
+      w.s[sp].c[c] = Complex<double>(rng.gaussian(), rng.gaussian());
+
+  FermionField<double> in(geom.volume()), out(geom.volume());
+  for (std::int32_t x = 0; x < geom.volume(); ++x) {
+    const Coord cd = geom.coord(x);
+    double phase = 0;
+    for (int mu = 0; mu < 4; ++mu)
+      phase += p[mu] * cd[static_cast<size_t>(mu)];
+    const Complex<double> ph(std::cos(phase), std::sin(phase));
+    in[x] = ph * w;
+  }
+  op.apply(in, out);
+
+  // Momentum-space matrix applied to w.
+  Spinor<double> expect = (4.0 + mass - sum_cos) * w;
+  for (int mu = 0; mu < 4; ++mu) {
+    const Spinor<double> gw = apply(kGamma[static_cast<size_t>(mu)], w);
+    const Complex<double> coeff(0, std::sin(p[mu]));
+    for (int sp = 0; sp < 4; ++sp)
+      for (int c = 0; c < 3; ++c)
+        expect.s[sp].c[c] += coeff * gw.s[sp].c[c];
+  }
+
+  for (std::int32_t x = 0; x < geom.volume(); ++x) {
+    const Coord cd = geom.coord(x);
+    double phase = 0;
+    for (int mu = 0; mu < 4; ++mu)
+      phase += p[mu] * cd[static_cast<size_t>(mu)];
+    const Complex<double> ph(std::cos(phase), std::sin(phase));
+    for (int sp = 0; sp < 4; ++sp)
+      for (int c = 0; c < 3; ++c)
+        ASSERT_LT(std::abs(out[x].s[sp].c[c] - ph * expect.s[sp].c[c]),
+                  1e-10)
+            << "site " << x;
+  }
+}
+
+TEST(WilsonClover, Gamma5Hermiticity) {
+  // gamma_5 A gamma_5 = A^dag, i.e. for all x, y:
+  //   <x, g5 A g5 y> = <A x, y> = conj(<y, A x>).
+  Fixture s({4, 4, 6, 4}, 1.0, 21);
+  WilsonCloverOperator<double> op(s.geom, s.cb, s.gauge, -0.05, 1.5);
+  FermionField<double> x(s.geom.volume()), y(s.geom.volume()),
+      tmp(s.geom.volume()), tmp2(s.geom.volume());
+  gaussian(x, 1);
+  gaussian(y, 2);
+  // lhs = <x, g5 A g5 y>
+  apply_gamma5(y, tmp);
+  op.apply(tmp, tmp2);
+  apply_gamma5(tmp2, tmp);
+  const auto lhs = dot(x, tmp);
+  // rhs = <y, A x>
+  op.apply(x, tmp);
+  const auto rhs = dot(y, tmp);
+  const double scale = std::abs(lhs) + 1.0;
+  EXPECT_NEAR(lhs.real(), rhs.real(), 1e-10 * scale);
+  EXPECT_NEAR(lhs.imag(), -rhs.imag(), 1e-10 * scale);
+}
+
+TEST(WilsonClover, CloverVanishesOnFreeField) {
+  const Geometry geom({4, 4, 4, 4});
+  const Checkerboard cb(geom);
+  GaugeField<double> gauge(geom);
+  const double mass = 0.3;
+  // With unit links F_{mu,nu} = 0, so csw must not matter.
+  WilsonCloverOperator<double> op_a(geom, cb, gauge, mass, 0.0);
+  WilsonCloverOperator<double> op_b(geom, cb, gauge, mass, 2.3);
+  FermionField<double> in(geom.volume()), oa(geom.volume()),
+      ob(geom.volume());
+  gaussian(in, 5);
+  op_a.apply(in, oa);
+  op_b.apply(in, ob);
+  sub(oa, ob, ob);
+  EXPECT_LT(norm(ob), 1e-12 * norm(oa));
+}
+
+TEST(WilsonClover, CswZeroIsPureMassDiagonal) {
+  Fixture s({4, 4, 4, 6}, 1.0, 31);
+  const double mass = 0.17;
+  WilsonCloverOperator<double> op(s.geom, s.cb, s.gauge, mass, 0.0);
+  FermionField<double> in(s.geom.volume()), hop(s.geom.volume()),
+      full(s.geom.volume());
+  gaussian(in, 6);
+  op.apply_dslash(in, hop);
+  op.apply(in, full);
+  // A = (4+m) in - 1/2 hop.
+  for (std::int32_t x = 0; x < s.geom.volume(); ++x)
+    for (int sp = 0; sp < 4; ++sp)
+      for (int c = 0; c < 3; ++c) {
+        const Complex<double> expect =
+            (4.0 + mass) * in[x].s[sp].c[c] - 0.5 * hop[x].s[sp].c[c];
+        ASSERT_LT(std::abs(full[x].s[sp].c[c] - expect), 1e-11);
+      }
+}
+
+TEST(WilsonClover, CbDslashMatchesFullDslash) {
+  Fixture s({4, 6, 4, 4}, 0.9, 41);
+  WilsonCloverOperator<double> op(s.geom, s.cb, s.gauge, 0.0, 1.0);
+  FermionField<double> in(s.geom.volume()), out(s.geom.volume());
+  gaussian(in, 7);
+  op.apply_dslash(in, out);
+
+  const auto half = s.cb.half_volume();
+  FermionField<double> in_e(half), in_o(half), out_e(half), out_o(half);
+  op.split(in, in_e, in_o);
+  // D_eo acts on odd input producing even output, and vice versa.
+  op.apply_dslash_cb(0, in_o, out_e);
+  op.apply_dslash_cb(1, in_e, out_o);
+  FermionField<double> merged(s.geom.volume());
+  op.merge(out_e, out_o, merged);
+  sub(out, merged, merged);
+  EXPECT_LT(norm(merged), 1e-12 * norm(out));
+}
+
+TEST(WilsonClover, SchurComplementIdentity) {
+  // For any u: with f = A u,  Dtilde_ee u_e == f_e - A_eo A_oo^-1 f_o,
+  // and reconstruct_odd(f_o, u_e) == u_o. This validates Eq. 5 without
+  // needing a solver.
+  Fixture s({4, 4, 4, 6}, 1.1, 51);
+  WilsonCloverOperator<double> op(s.geom, s.cb, s.gauge, 0.05, 1.3);
+  op.prepare_schur();
+
+  FermionField<double> u(s.geom.volume()), f(s.geom.volume());
+  gaussian(u, 8);
+  op.apply(u, f);
+
+  const auto half = s.cb.half_volume();
+  FermionField<double> u_e(half), u_o(half), f_e(half), f_o(half);
+  op.split(u, u_e, u_o);
+  op.split(f, f_e, f_o);
+
+  FermionField<double> lhs(half), rhs(half);
+  op.apply_schur(u_e, lhs);
+  op.schur_rhs(f_e, f_o, rhs);
+  sub(lhs, rhs, rhs);
+  EXPECT_LT(norm(rhs), 1e-10 * norm(lhs));
+
+  FermionField<double> u_o_rec(half);
+  op.reconstruct_odd(f_o, u_e, u_o_rec);
+  sub(u_o_rec, u_o, u_o_rec);
+  EXPECT_LT(norm(u_o_rec), 1e-10 * norm(u_o));
+}
+
+TEST(WilsonClover, DiagInvIsInverseOfDiag) {
+  Fixture s({4, 4, 4, 4}, 1.0, 61);
+  WilsonCloverOperator<double> op(s.geom, s.cb, s.gauge, 0.1, 1.9);
+  op.prepare_schur();
+  const auto half = s.cb.half_volume();
+  for (int parity = 0; parity < 2; ++parity) {
+    FermionField<double> x(half), y(half), back(half);
+    gaussian(x, 70 + static_cast<std::uint64_t>(parity));
+    op.apply_diag_cb(parity, x, y);
+    op.apply_diag_inv_cb(parity, y, back);
+    sub(back, x, back);
+    EXPECT_LT(norm(back), 1e-10 * norm(x));
+  }
+}
+
+TEST(WilsonClover, FlopCountersMatchPaperRates) {
+  Fixture s({4, 4, 4, 4}, 0.5, 71);
+  WilsonCloverOperator<double> op(s.geom, s.cb, s.gauge, 0.0, 1.0);
+  FermionField<double> in(s.geom.volume()), out(s.geom.volume());
+  gaussian(in, 9);
+  op.reset_flops();
+  op.apply(in, out);
+  EXPECT_EQ(op.flops(), s.geom.volume() * 1848);
+  op.reset_flops();
+  op.apply_dslash(in, out);
+  EXPECT_EQ(op.flops(), s.geom.volume() * 1344);
+}
+
+TEST(WilsonClover, AntiperiodicVsPeriodicDifferOnlyViaBoundary) {
+  const Geometry geom({4, 4, 4, 4});
+  const Checkerboard cb(geom);
+  auto gp = random_gauge_field<double>(geom, 0.7, 81);
+  auto ga = gp;  // copy
+  ga.make_time_antiperiodic();
+  WilsonCloverOperator<double> op_p(geom, cb, gp, 0.0, 0.0);
+  WilsonCloverOperator<double> op_a(geom, cb, ga, 0.0, 0.0);
+  FermionField<double> in(geom.volume()), op_out(geom.volume()),
+      oa(geom.volume());
+  gaussian(in, 10);
+  op_p.apply(in, op_out);
+  op_a.apply(in, oa);
+  // Results must differ only on sites adjacent to the t-boundary.
+  int differing = 0;
+  for (std::int32_t x = 0; x < geom.volume(); ++x) {
+    const double d = norm2(op_out[x] - oa[x]);
+    const int t = geom.coord(x)[3];
+    if (t == 0 || t == geom.dim(3) - 1) {
+      ++differing;
+    } else {
+      EXPECT_LT(d, 1e-24);
+    }
+  }
+  EXPECT_EQ(differing, 2 * geom.volume() / geom.dim(3));
+}
+
+TEST(GaugeField, PlaquetteOfFreeFieldIsOne) {
+  const Geometry geom({4, 4, 4, 4});
+  GaugeField<double> u(geom);
+  EXPECT_NEAR(average_plaquette(u), 1.0, 1e-14);
+}
+
+TEST(GaugeField, PlaquetteDecreasesWithDisorder) {
+  const Geometry geom({4, 4, 4, 4});
+  const auto u1 = random_gauge_field<double>(geom, 0.1, 91);
+  const auto u2 = random_gauge_field<double>(geom, 0.6, 91);
+  const double p1 = average_plaquette(u1);
+  const double p2 = average_plaquette(u2);
+  EXPECT_GT(p1, p2);
+  EXPECT_GT(p1, 0.85);
+  EXPECT_LT(p2, 0.5);
+}
+
+}  // namespace
+}  // namespace lqcd
