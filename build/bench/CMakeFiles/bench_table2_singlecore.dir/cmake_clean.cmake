@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_singlecore.dir/bench_table2_singlecore.cpp.o"
+  "CMakeFiles/bench_table2_singlecore.dir/bench_table2_singlecore.cpp.o.d"
+  "bench_table2_singlecore"
+  "bench_table2_singlecore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_singlecore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

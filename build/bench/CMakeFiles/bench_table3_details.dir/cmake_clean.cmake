@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_details.dir/bench_table3_details.cpp.o"
+  "CMakeFiles/bench_table3_details.dir/bench_table3_details.cpp.o.d"
+  "bench_table3_details"
+  "bench_table3_details.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gauge_evolution.dir/gauge_evolution.cpp.o"
+  "CMakeFiles/example_gauge_evolution.dir/gauge_evolution.cpp.o.d"
+  "example_gauge_evolution"
+  "example_gauge_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gauge_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

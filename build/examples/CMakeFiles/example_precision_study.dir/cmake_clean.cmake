@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_precision_study.dir/precision_study.cpp.o"
+  "CMakeFiles/example_precision_study.dir/precision_study.cpp.o.d"
+  "example_precision_study"
+  "example_precision_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_precision_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

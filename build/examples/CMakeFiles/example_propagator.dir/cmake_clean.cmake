@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_propagator.dir/propagator.cpp.o"
+  "CMakeFiles/example_propagator.dir/propagator.cpp.o.d"
+  "example_propagator"
+  "example_propagator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_propagator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

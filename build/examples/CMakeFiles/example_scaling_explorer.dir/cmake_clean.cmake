@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scaling_explorer.dir/scaling_explorer.cpp.o"
+  "CMakeFiles/example_scaling_explorer.dir/scaling_explorer.cpp.o.d"
+  "example_scaling_explorer"
+  "example_scaling_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scaling_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lqcd/base/table.cpp" "src/CMakeFiles/lqcd_dd.dir/lqcd/base/table.cpp.o" "gcc" "src/CMakeFiles/lqcd_dd.dir/lqcd/base/table.cpp.o.d"
+  "/root/repo/src/lqcd/cluster/cluster_sim.cpp" "src/CMakeFiles/lqcd_dd.dir/lqcd/cluster/cluster_sim.cpp.o" "gcc" "src/CMakeFiles/lqcd_dd.dir/lqcd/cluster/cluster_sim.cpp.o.d"
+  "/root/repo/src/lqcd/cluster/node_partition.cpp" "src/CMakeFiles/lqcd_dd.dir/lqcd/cluster/node_partition.cpp.o" "gcc" "src/CMakeFiles/lqcd_dd.dir/lqcd/cluster/node_partition.cpp.o.d"
+  "/root/repo/src/lqcd/core/dd_solver.cpp" "src/CMakeFiles/lqcd_dd.dir/lqcd/core/dd_solver.cpp.o" "gcc" "src/CMakeFiles/lqcd_dd.dir/lqcd/core/dd_solver.cpp.o.d"
+  "/root/repo/src/lqcd/densela/matrix.cpp" "src/CMakeFiles/lqcd_dd.dir/lqcd/densela/matrix.cpp.o" "gcc" "src/CMakeFiles/lqcd_dd.dir/lqcd/densela/matrix.cpp.o.d"
+  "/root/repo/src/lqcd/lattice/checkerboard.cpp" "src/CMakeFiles/lqcd_dd.dir/lqcd/lattice/checkerboard.cpp.o" "gcc" "src/CMakeFiles/lqcd_dd.dir/lqcd/lattice/checkerboard.cpp.o.d"
+  "/root/repo/src/lqcd/lattice/domain_partition.cpp" "src/CMakeFiles/lqcd_dd.dir/lqcd/lattice/domain_partition.cpp.o" "gcc" "src/CMakeFiles/lqcd_dd.dir/lqcd/lattice/domain_partition.cpp.o.d"
+  "/root/repo/src/lqcd/lattice/geometry.cpp" "src/CMakeFiles/lqcd_dd.dir/lqcd/lattice/geometry.cpp.o" "gcc" "src/CMakeFiles/lqcd_dd.dir/lqcd/lattice/geometry.cpp.o.d"
+  "/root/repo/src/lqcd/linalg/fp16.cpp" "src/CMakeFiles/lqcd_dd.dir/lqcd/linalg/fp16.cpp.o" "gcc" "src/CMakeFiles/lqcd_dd.dir/lqcd/linalg/fp16.cpp.o.d"
+  "/root/repo/src/lqcd/tile/tiled_dslash.cpp" "src/CMakeFiles/lqcd_dd.dir/lqcd/tile/tiled_dslash.cpp.o" "gcc" "src/CMakeFiles/lqcd_dd.dir/lqcd/tile/tiled_dslash.cpp.o.d"
+  "/root/repo/src/lqcd/tile/xy_tile.cpp" "src/CMakeFiles/lqcd_dd.dir/lqcd/tile/xy_tile.cpp.o" "gcc" "src/CMakeFiles/lqcd_dd.dir/lqcd/tile/xy_tile.cpp.o.d"
+  "/root/repo/src/lqcd/vnode/virtual_grid.cpp" "src/CMakeFiles/lqcd_dd.dir/lqcd/vnode/virtual_grid.cpp.o" "gcc" "src/CMakeFiles/lqcd_dd.dir/lqcd/vnode/virtual_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

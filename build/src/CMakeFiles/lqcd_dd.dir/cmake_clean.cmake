@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lqcd_dd.dir/lqcd/base/table.cpp.o"
+  "CMakeFiles/lqcd_dd.dir/lqcd/base/table.cpp.o.d"
+  "CMakeFiles/lqcd_dd.dir/lqcd/cluster/cluster_sim.cpp.o"
+  "CMakeFiles/lqcd_dd.dir/lqcd/cluster/cluster_sim.cpp.o.d"
+  "CMakeFiles/lqcd_dd.dir/lqcd/cluster/node_partition.cpp.o"
+  "CMakeFiles/lqcd_dd.dir/lqcd/cluster/node_partition.cpp.o.d"
+  "CMakeFiles/lqcd_dd.dir/lqcd/core/dd_solver.cpp.o"
+  "CMakeFiles/lqcd_dd.dir/lqcd/core/dd_solver.cpp.o.d"
+  "CMakeFiles/lqcd_dd.dir/lqcd/densela/matrix.cpp.o"
+  "CMakeFiles/lqcd_dd.dir/lqcd/densela/matrix.cpp.o.d"
+  "CMakeFiles/lqcd_dd.dir/lqcd/lattice/checkerboard.cpp.o"
+  "CMakeFiles/lqcd_dd.dir/lqcd/lattice/checkerboard.cpp.o.d"
+  "CMakeFiles/lqcd_dd.dir/lqcd/lattice/domain_partition.cpp.o"
+  "CMakeFiles/lqcd_dd.dir/lqcd/lattice/domain_partition.cpp.o.d"
+  "CMakeFiles/lqcd_dd.dir/lqcd/lattice/geometry.cpp.o"
+  "CMakeFiles/lqcd_dd.dir/lqcd/lattice/geometry.cpp.o.d"
+  "CMakeFiles/lqcd_dd.dir/lqcd/linalg/fp16.cpp.o"
+  "CMakeFiles/lqcd_dd.dir/lqcd/linalg/fp16.cpp.o.d"
+  "CMakeFiles/lqcd_dd.dir/lqcd/tile/tiled_dslash.cpp.o"
+  "CMakeFiles/lqcd_dd.dir/lqcd/tile/tiled_dslash.cpp.o.d"
+  "CMakeFiles/lqcd_dd.dir/lqcd/tile/xy_tile.cpp.o"
+  "CMakeFiles/lqcd_dd.dir/lqcd/tile/xy_tile.cpp.o.d"
+  "CMakeFiles/lqcd_dd.dir/lqcd/vnode/virtual_grid.cpp.o"
+  "CMakeFiles/lqcd_dd.dir/lqcd/vnode/virtual_grid.cpp.o.d"
+  "liblqcd_dd.a"
+  "liblqcd_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lqcd_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

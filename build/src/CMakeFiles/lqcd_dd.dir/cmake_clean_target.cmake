@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblqcd_dd.a"
+)

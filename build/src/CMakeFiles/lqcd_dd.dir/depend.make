@@ -1,0 +1,2 @@
+# Empty dependencies file for lqcd_dd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clover_block.dir/test_clover_block.cpp.o"
+  "CMakeFiles/test_clover_block.dir/test_clover_block.cpp.o.d"
+  "test_clover_block"
+  "test_clover_block.pdb"
+  "test_clover_block[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clover_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

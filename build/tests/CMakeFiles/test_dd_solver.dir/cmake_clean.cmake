@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dd_solver.dir/test_dd_solver.cpp.o"
+  "CMakeFiles/test_dd_solver.dir/test_dd_solver.cpp.o.d"
+  "test_dd_solver"
+  "test_dd_solver.pdb"
+  "test_dd_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dd_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

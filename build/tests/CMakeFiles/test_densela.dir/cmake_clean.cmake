@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_densela.dir/test_densela.cpp.o"
+  "CMakeFiles/test_densela.dir/test_densela.cpp.o.d"
+  "test_densela"
+  "test_densela.pdb"
+  "test_densela[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_densela.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_domain_partition.dir/test_domain_partition.cpp.o"
+  "CMakeFiles/test_domain_partition.dir/test_domain_partition.cpp.o.d"
+  "test_domain_partition"
+  "test_domain_partition.pdb"
+  "test_domain_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_domain_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

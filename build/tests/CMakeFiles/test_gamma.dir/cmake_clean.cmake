@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gamma.dir/test_gamma.cpp.o"
+  "CMakeFiles/test_gamma.dir/test_gamma.cpp.o.d"
+  "test_gamma"
+  "test_gamma.pdb"
+  "test_gamma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

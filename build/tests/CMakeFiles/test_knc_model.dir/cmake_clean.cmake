@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knc_model.dir/test_knc_model.cpp.o"
+  "CMakeFiles/test_knc_model.dir/test_knc_model.cpp.o.d"
+  "test_knc_model"
+  "test_knc_model.pdb"
+  "test_knc_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schwarz.dir/test_schwarz.cpp.o"
+  "CMakeFiles/test_schwarz.dir/test_schwarz.cpp.o.d"
+  "test_schwarz"
+  "test_schwarz.pdb"
+  "test_schwarz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schwarz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_variants.dir/test_solver_variants.cpp.o"
+  "CMakeFiles/test_solver_variants.dir/test_solver_variants.cpp.o.d"
+  "test_solver_variants"
+  "test_solver_variants.pdb"
+  "test_solver_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_su3.dir/test_su3.cpp.o"
+  "CMakeFiles/test_su3.dir/test_su3.cpp.o.d"
+  "test_su3"
+  "test_su3.pdb"
+  "test_su3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_su3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile.dir/test_tile.cpp.o"
+  "CMakeFiles/test_tile.dir/test_tile.cpp.o.d"
+  "test_tile"
+  "test_tile.pdb"
+  "test_tile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_virtual_grid.dir/test_virtual_grid.cpp.o"
+  "CMakeFiles/test_virtual_grid.dir/test_virtual_grid.cpp.o.d"
+  "test_virtual_grid"
+  "test_virtual_grid.pdb"
+  "test_virtual_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_virtual_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wilson_clover.dir/test_wilson_clover.cpp.o"
+  "CMakeFiles/test_wilson_clover.dir/test_wilson_clover.cpp.o.d"
+  "test_wilson_clover"
+  "test_wilson_clover.pdb"
+  "test_wilson_clover[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wilson_clover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_base[1]_include.cmake")
+include("/root/repo/build/tests/test_blas[1]_include.cmake")
+include("/root/repo/build/tests/test_clover_block[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_dd_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_densela[1]_include.cmake")
+include("/root/repo/build/tests/test_domain_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_fp16[1]_include.cmake")
+include("/root/repo/build/tests/test_gamma[1]_include.cmake")
+include("/root/repo/build/tests/test_geometry[1]_include.cmake")
+include("/root/repo/build/tests/test_knc_model[1]_include.cmake")
+include("/root/repo/build/tests/test_monte_carlo[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_schwarz[1]_include.cmake")
+include("/root/repo/build/tests/test_solver_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_solvers[1]_include.cmake")
+include("/root/repo/build/tests/test_su3[1]_include.cmake")
+include("/root/repo/build/tests/test_tile[1]_include.cmake")
+include("/root/repo/build/tests/test_virtual_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_wilson_clover[1]_include.cmake")
