@@ -20,6 +20,34 @@ double mem_stream_seconds(const knc::KncSpec& knc, double bytes,
   return bytes / (knc.mem_bw_gbs * 1e9 * utilization);
 }
 
+/// Expected extra wall time from node faults on a run that would take
+/// `healthy_seconds` on a fault-free cluster (expected-value model,
+/// deterministic — no sampling).
+double node_fault_overhead(const NodeFaultSpec& f, int nodes,
+                           double healthy_seconds,
+                           double* expected_failures) {
+  double overhead = 0.0;
+  // Straggler: the solver is bulk-synchronous, so one slowed node gates
+  // every phase barrier no matter how many healthy nodes surround it.
+  if (f.straggler_nodes > 0 && f.straggler_slowdown > 1.0 && nodes > 0)
+    overhead += (f.straggler_slowdown - 1.0) * healthy_seconds;
+  // Node failure: expected count over the (straggler-stretched) run; each
+  // pays the recovery cost plus the rework since the last checkpoint —
+  // half an interval in expectation, or half the run without any.
+  if (f.node_mtbf_hours > 0.0 && nodes > 0) {
+    const double run = healthy_seconds + overhead;
+    const double failures =
+        static_cast<double>(nodes) * run / (f.node_mtbf_hours * 3600.0);
+    const double rework =
+        f.checkpoint_interval_seconds > 0.0
+            ? std::min(0.5 * f.checkpoint_interval_seconds, 0.5 * run)
+            : 0.5 * run;
+    overhead += failures * (f.recovery_seconds + rework);
+    if (expected_failures != nullptr) *expected_failures = failures;
+  }
+  return overhead;
+}
+
 }  // namespace
 
 ClusterResult ClusterSim::simulate_dd(const DDSolveSpec& spec,
@@ -159,6 +187,9 @@ ClusterResult ClusterSim::simulate_dd(const DDSolveSpec& spec,
   res.other = {per_iter_other * iters, flops_other * iters};
   res.total_seconds =
       res.m.seconds + res.a.seconds + res.gs.seconds + res.other.seconds;
+  res.fault_overhead_seconds = node_fault_overhead(
+      p_.faults, res.nodes, res.total_seconds, &res.expected_failures);
+  res.total_seconds += res.fault_overhead_seconds;
   res.comm_mb_per_node = comm_bytes_per_iter * iters / 1e6 +
                          /* A halo, double half-spinors */ 0.0;
   res.tflops_m =
@@ -241,6 +272,9 @@ ClusterResult ClusterSim::simulate_nondd(const NonDDSolveSpec& spec,
   res.m = {0, 0};
   res.a = {per_iter * iters, flops_per_node * iters};
   res.total_seconds = per_iter * iters;
+  res.fault_overhead_seconds = node_fault_overhead(
+      p_.faults, res.nodes, res.total_seconds, &res.expected_failures);
+  res.total_seconds += res.fault_overhead_seconds;
   res.comm_mb_per_node = comm_bytes_per_iter * iters / 1e6;
   res.tflops_total =
       res.total_seconds > 0

@@ -48,6 +48,24 @@ struct NonDDSolveSpec {
   std::int64_t global_sum_events = 0;  ///< 0 => 5 per iteration
 };
 
+/// Deterministic expected-value node-fault model. All defaults are the
+/// fault-free cluster; the simulated times are then identical to the
+/// un-extended simulator.
+struct NodeFaultSpec {
+  /// Number of nodes running slow (thermal throttling, a sick DIMM, a
+  /// noisy neighbor on the fabric). The solver is bulk-synchronous, so a
+  /// single straggler gates every phase barrier.
+  int straggler_nodes = 0;
+  double straggler_slowdown = 1.0;  ///< straggler time multiplier (>= 1)
+  /// Mean time between failures of ONE node, hours. Zero disables the
+  /// failure model. Expected failures over a run scale with node count.
+  double node_mtbf_hours = 0.0;
+  double recovery_seconds = 0.0;  ///< respawn/rejoin cost per failure
+  /// Application checkpoint period. A failure replays half an interval in
+  /// expectation; zero means no checkpointing (half the run is lost).
+  double checkpoint_interval_seconds = 0.0;
+};
+
 struct PhaseCost {
   double seconds = 0;         ///< wall time attributed to the phase
   double flops_per_node = 0;  ///< useful flops per node (max-loaded group)
@@ -67,6 +85,11 @@ struct ClusterResult {
   double tflops_total = 0;   ///< aggregate rate of the full solve
   double comm_mb_per_node = 0;  ///< data sent per node over the full solve
   std::int64_t global_sums = 0;
+  /// Fault-model accounting (zero when NodeFaultSpec is default). The
+  /// per-phase costs above stay at their healthy values; the overhead is
+  /// added to total_seconds.
+  double fault_overhead_seconds = 0;
+  double expected_failures = 0;
 
   double pct(const PhaseCost& c) const noexcept {
     return total_seconds > 0 ? 100.0 * c.seconds / total_seconds : 0.0;
@@ -101,6 +124,8 @@ struct ClusterSimParams {
   /// Plain OS-jitter factor for phases without per-sweep barriers (the
   /// paper's measured ~10% Linux load-balancing loss, footnote 5).
   double base_jitter = 1.10;
+  /// Node fault model (stragglers, failures); defaults are fault-free.
+  NodeFaultSpec faults{};
 };
 
 class ClusterSim {

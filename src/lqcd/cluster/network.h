@@ -9,6 +9,7 @@
 // Global sums are modeled as latency-bound allreduces over a binary tree.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 
@@ -23,6 +24,12 @@ struct NetworkSpec {
   /// OS jitter across ranks — calibrated so that the non-DD solver's
   /// global-sum cost matches Table III's strong-scaling flattening.
   double allreduce_latency_us = 70.0;
+  /// Fault model: independent per-message loss probability. A lost packet
+  /// is detected by timeout and retransmitted after a backoff; the
+  /// expected attempt count is the geometric 1/(1-p). Zero (default)
+  /// reproduces the fault-free fabric exactly.
+  double packet_loss_probability = 0.0;
+  double retransmit_backoff_us = 100.0;
 };
 
 /// Effective bandwidth in GB/s for an n-byte message.
@@ -32,11 +39,17 @@ inline double effective_bandwidth_gbs(const NetworkSpec& net,
   return net.peak_bw_gbs * bytes / (bytes + n_half);
 }
 
-/// Time to transfer one point-to-point message of `bytes`.
+/// Time to transfer one point-to-point message of `bytes`, in expectation
+/// over packet loss (expected-value fault model, deterministic).
 inline double message_seconds(const NetworkSpec& net, double bytes) noexcept {
   if (bytes <= 0) return 0.0;
   const double bw = effective_bandwidth_gbs(net, bytes) * 1e9;
-  return net.latency_us * 1e-6 + bytes / bw;
+  const double once = net.latency_us * 1e-6 + bytes / bw;
+  const double p = net.packet_loss_probability;
+  if (p <= 0.0) return once;
+  const double attempts = 1.0 / (1.0 - std::min(p, 0.999));
+  return attempts * once +
+         (attempts - 1.0) * net.retransmit_backoff_us * 1e-6;
 }
 
 /// Time of one small (scalar payload) allreduce over `nodes` ranks.

@@ -20,17 +20,45 @@ DDSolver::DDSolver(const Geometry& geom, const GaugeField<double>& gauge,
   sp.block_mr_iterations = config.block_mr_iterations;
   sp.additive = config.additive_schwarz;
   sp.half_precision_spinors = config.half_precision_spinors;
+  const ResilienceConfig& rc = config.resilience;
+  if (rc.enabled) sp.fault_injector = rc.schwarz_injector;
   Preconditioner<float>* inner = nullptr;
   if (config.half_precision_matrices) {
     schwarz_half_ =
         std::make_unique<SchwarzPreconditioner<Half>>(*part_, *op_f_, sp);
     inner = schwarz_half_.get();
+    if (rc.enabled && rc.precision_fallback) {
+      // Single-precision fallback matrices, fault-free: the retry target
+      // when a half-precision sweep output goes non-finite.
+      SchwarzParams sp_clean = sp;
+      sp_clean.fault_injector = nullptr;
+      schwarz_single_ = std::make_unique<SchwarzPreconditioner<float>>(
+          *part_, *op_f_, sp_clean);
+    }
   } else {
     schwarz_single_ =
         std::make_unique<SchwarzPreconditioner<float>>(*part_, *op_f_, sp);
     inner = schwarz_single_.get();
   }
-  adapter_ = std::make_unique<SchwarzPrecondAdapter>(*inner, geom.volume());
+  if (rc.enabled) {
+    Preconditioner<float>* fallback =
+        (config.half_precision_matrices && rc.precision_fallback)
+            ? schwarz_single_.get()
+            : nullptr;
+    auto on_fallback = [this] {
+      if (schwarz_half_) schwarz_half_->note_precision_fallback();
+    };
+    resilient_adapter_ = std::make_unique<ResilientSchwarzAdapter>(
+        *inner, fallback, on_fallback, geom.volume());
+    if (rc.checkpoint_rollback) {
+      CheckpointMonitorConfig mc;
+      mc.detect_ratio = rc.rollback_detect_ratio;
+      monitor_ =
+          std::make_unique<CheckpointMonitor<double>>(mc, rc.iterate_injector);
+    }
+  } else {
+    adapter_ = std::make_unique<SchwarzPrecondAdapter>(*inner, geom.volume());
+  }
   linop_ = std::make_unique<WilsonCloverLinOp<double>>(*op_d_);
 }
 
@@ -41,7 +69,12 @@ SolverStats DDSolver::solve(const FermionField<double>& b,
   p.deflation_size = config_.deflation_size;
   p.tolerance = config_.tolerance;
   p.max_iterations = config_.max_iterations;
-  return fgmres_dr_solve<double>(*linop_, adapter_.get(), b, x, p);
+  if (monitor_) monitor_->drop_checkpoint();
+  Preconditioner<double>* pre = resilient_adapter_
+                                    ? static_cast<Preconditioner<double>*>(
+                                          resilient_adapter_.get())
+                                    : adapter_.get();
+  return fgmres_dr_solve<double>(*linop_, pre, b, x, p, monitor_.get());
 }
 
 const SchwarzStats& DDSolver::schwarz_stats() const {
@@ -52,6 +85,7 @@ const SchwarzStats& DDSolver::schwarz_stats() const {
 void DDSolver::reset_stats() {
   if (schwarz_half_) schwarz_half_->reset_stats();
   if (schwarz_single_) schwarz_single_->reset_stats();
+  if (monitor_) monitor_->reset();
 }
 
 }  // namespace lqcd

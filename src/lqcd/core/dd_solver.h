@@ -9,13 +9,36 @@
 // then call solve() per right-hand side.
 #pragma once
 
+#include <functional>
 #include <memory>
 
+#include "lqcd/resilience/resilient_solve.h"
 #include "lqcd/schwarz/schwarz.h"
 #include "lqcd/solver/even_odd.h"
 #include "lqcd/solver/fgmres_dr.h"
 
 namespace lqcd {
+
+/// Resilient-solve layer configuration. With enabled = false (default)
+/// the solver pipeline is exactly the fault-oblivious one: same objects,
+/// same arithmetic, bit-identical iteration counts.
+struct ResilienceConfig {
+  bool enabled = false;
+  /// Retry a Schwarz apply on the single-precision preconditioner
+  /// matrices when the half-precision one produces NaN/Inf (fp16
+  /// overflow). Recorded in SchwarzStats::precision_fallbacks.
+  bool precision_fallback = true;
+  /// Checkpoint the outer iterate at every FGMRES cycle whose true
+  /// residual improved; roll back when recursive and true residuals
+  /// diverge (silent data corruption of the iterate).
+  bool checkpoint_rollback = true;
+  double rollback_detect_ratio = 10.0;
+  /// Optional fault injection (testing/benchmarking): `schwarz_injector`
+  /// corrupts the preconditioner's sweep residual, `iterate_injector`
+  /// corrupts the outer iterate between cycles. Caller-owned.
+  FaultInjector* schwarz_injector = nullptr;
+  FaultInjector* iterate_injector = nullptr;
+};
 
 struct DDSolverConfig {
   /// Schwarz domain size; must tile the lattice with even grid extents.
@@ -34,6 +57,7 @@ struct DDSolverConfig {
   bool half_precision_spinors = false;
   double tolerance = 1e-10;    ///< relative residual target (outer, double)
   int max_iterations = 2000;   ///< outer Arnoldi steps
+  ResilienceConfig resilience; ///< breakdown detection & recovery layer
 };
 
 /// Bridges the double-precision outer solver to the float preconditioner:
@@ -56,6 +80,44 @@ class SchwarzPrecondAdapter final : public Preconditioner<double> {
   FermionField<float> in_f_, out_f_;
 };
 
+/// Hardened precision bridge: like SchwarzPrecondAdapter, but it scans
+/// the preconditioner output for NaN/Inf (fp16 overflow saturates to inf
+/// and propagates) and, on detection, retries the apply on the
+/// single-precision fallback preconditioner. If even the fallback output
+/// is poisoned the correction is zeroed — the flexible outer solver then
+/// discards the degenerate direction and restarts (Lüscher's observation
+/// that the Schwarz preconditioner tolerates inexact block solves is what
+/// makes both degradation paths safe).
+class ResilientSchwarzAdapter final : public Preconditioner<double> {
+ public:
+  ResilientSchwarzAdapter(Preconditioner<float>& primary,
+                          Preconditioner<float>* fallback,
+                          std::function<void()> on_fallback, std::int64_t n)
+      : primary_(&primary),
+        fallback_(fallback),
+        on_fallback_(std::move(on_fallback)),
+        in_f_(n),
+        out_f_(n) {}
+
+  void apply(const FermionField<double>& in,
+             FermionField<double>& out) override {
+    convert(in, in_f_);
+    primary_->apply(in_f_, out_f_);
+    if (!all_finite(out_f_)) {
+      if (on_fallback_) on_fallback_();
+      if (fallback_ != nullptr) fallback_->apply(in_f_, out_f_);
+      if (fallback_ == nullptr || !all_finite(out_f_)) out_f_.zero();
+    }
+    convert(out_f_, out);
+  }
+
+ private:
+  Preconditioner<float>* primary_;
+  Preconditioner<float>* fallback_;
+  std::function<void()> on_fallback_;
+  FermionField<float> in_f_, out_f_;
+};
+
 class DDSolver {
  public:
   /// `geom` and `gauge` must outlive the solver. The gauge field should
@@ -74,6 +136,11 @@ class DDSolver {
   const SchwarzStats& schwarz_stats() const;
   void reset_stats();
 
+  /// Checkpoint/rollback counters; nullptr when resilience is disabled.
+  const CheckpointMonitorStats* checkpoint_stats() const noexcept {
+    return monitor_ ? &monitor_->stats() : nullptr;
+  }
+
  private:
   DDSolverConfig config_;
   const Geometry* geom_;
@@ -85,6 +152,8 @@ class DDSolver {
   std::unique_ptr<SchwarzPreconditioner<float>> schwarz_single_;
   std::unique_ptr<SchwarzPreconditioner<Half>> schwarz_half_;
   std::unique_ptr<SchwarzPrecondAdapter> adapter_;
+  std::unique_ptr<ResilientSchwarzAdapter> resilient_adapter_;
+  std::unique_ptr<CheckpointMonitor<double>> monitor_;
   std::unique_ptr<WilsonCloverLinOp<double>> linop_;
 };
 

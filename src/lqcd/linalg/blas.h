@@ -122,6 +122,24 @@ double norm(const FermionField<T>& x) {
   return std::sqrt(norm2(x));
 }
 
+/// True iff every component of x is finite (no NaN/Inf). The guard the
+/// resilience layer runs on preconditioner outputs and residuals; one
+/// streaming pass, cheap next to any operator application.
+template <class T>
+bool all_finite(const FermionField<T>& x) {
+  const std::int64_t n = x.size();
+  int bad = 0;
+#pragma omp parallel for schedule(static) reduction(+ : bad)
+  for (std::int64_t i = 0; i < n; ++i)
+    for (int sp = 0; sp < kNumSpins; ++sp)
+      for (int c = 0; c < kNumColors; ++c) {
+        if (!std::isfinite(x[i].s[sp].c[c].real()) ||
+            !std::isfinite(x[i].s[sp].c[c].imag()))
+          ++bad;
+      }
+  return bad == 0;
+}
+
 /// z = x - y.
 template <class T>
 void sub(const FermionField<T>& x, const FermionField<T>& y,

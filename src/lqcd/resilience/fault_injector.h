@@ -1,0 +1,154 @@
+// Seedable fault injection for the resilient-solve layer.
+//
+// The paper's production setting — 1024 KNCs running a mixed
+// half/single/double solver stack for days — is a regime where silent data
+// corruption (SDC), fp16 range exhaustion, and node-level failures are
+// operational facts, not corner cases. This injector lets tests and
+// benchmarks create those faults deterministically:
+//
+//   * kSpinorBitFlip: flip one bit of one real component of a fermion
+//     field (the classic SDC model — a DRAM/cache upset that ECC missed).
+//   * kFp16Overflow:  overwrite one component with the result of storing
+//     an out-of-range value through binary16, i.e. +-inf (the hardware
+//     saturating down-convert of Sec. III-B).
+//   * kZeroField:     zero the entire field (a defective block solve /
+//     dropped message — the degenerate-direction breakdown class).
+//   * kGaugeBitFlip:  flip one bit of one gauge-link component.
+//
+// Every fault site is drawn from the injector's own Rng, so a given
+// (seed, schedule) reproduces the same fault sequence regardless of
+// threading. Opportunities are counted at every hook invocation; faults
+// fire only inside the configured [first_opportunity, ...] window, with
+// the configured probability, until max_events is exhausted.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "lqcd/base/rng.h"
+#include "lqcd/gauge/gauge_field.h"
+#include "lqcd/linalg/fermion_field.h"
+#include "lqcd/linalg/fp16.h"
+
+namespace lqcd {
+
+enum class FaultClass {
+  kSpinorBitFlip,
+  kFp16Overflow,
+  kZeroField,
+  kGaugeBitFlip,
+};
+
+struct FaultInjectorConfig {
+  FaultClass fault = FaultClass::kSpinorBitFlip;
+  std::uint64_t seed = 1;
+  double probability = 1.0;   ///< chance of firing per eligible opportunity
+  int max_events = 1;         ///< total fault budget (<0: unlimited)
+  int first_opportunity = 0;  ///< hook calls to skip before arming
+  /// Bit to flip for the bit-flip classes; -1 draws a random bit. High
+  /// exponent bits (e.g. 62 for double, 30 for float) model the
+  /// catastrophic upsets ABFT-style detection must catch.
+  int bit = -1;
+};
+
+struct FaultInjectorStats {
+  std::int64_t opportunities = 0;  ///< hook invocations seen
+  std::int64_t events = 0;         ///< faults actually injected
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultInjectorConfig& config = {})
+      : config_(config), rng_(config.seed) {}
+
+  const FaultInjectorConfig& config() const noexcept { return config_; }
+  const FaultInjectorStats& stats() const noexcept { return stats_; }
+
+  /// Re-arm: restore the fault budget and the deterministic stream.
+  void reset() noexcept {
+    stats_ = FaultInjectorStats{};
+    rng_ = Rng(config_.seed);
+  }
+
+  /// Injection hook for fermion fields. Returns true iff a fault fired.
+  template <class T>
+  bool maybe_corrupt(FermionField<T>& f) {
+    if (!should_fire() || f.size() == 0) return false;
+    switch (config_.fault) {
+      case FaultClass::kZeroField:
+        f.zero();
+        break;
+      case FaultClass::kFp16Overflow: {
+        // What the saturating binary16 down-convert makes of any value
+        // beyond the half range: a signed infinity in the stored field.
+        T* reals = reinterpret_cast<T*>(f.data());
+        const auto idx = rng_.uniform_u64(
+            static_cast<std::uint64_t>(f.size()) * kSpinorReals);
+        reals[idx] = static_cast<T>(half_round_trip(1.0e6f));
+        break;
+      }
+      case FaultClass::kSpinorBitFlip:
+      case FaultClass::kGaugeBitFlip: {
+        T* reals = reinterpret_cast<T*>(f.data());
+        const auto idx = rng_.uniform_u64(
+            static_cast<std::uint64_t>(f.size()) * kSpinorReals);
+        reals[idx] = flip_bit(reals[idx]);
+        break;
+      }
+    }
+    ++stats_.events;
+    return true;
+  }
+
+  /// Injection hook for gauge fields: one bit of one link component.
+  template <class T>
+  bool maybe_corrupt(GaugeField<T>& gauge) {
+    if (!should_fire()) return false;
+    const auto volume = gauge.geometry().volume();
+    const auto site = static_cast<std::int32_t>(
+        rng_.uniform_u64(static_cast<std::uint64_t>(volume)));
+    const int mu = static_cast<int>(rng_.uniform_u64(kNumDims));
+    auto& link = gauge.link(site, mu);
+    const int i = static_cast<int>(rng_.uniform_u64(kNumColors));
+    const int j = static_cast<int>(rng_.uniform_u64(kNumColors));
+    if (rng_.uniform() < 0.5) {
+      link.m[i][j] = Complex<T>(flip_bit(link.m[i][j].real()),
+                                link.m[i][j].imag());
+    } else {
+      link.m[i][j] = Complex<T>(link.m[i][j].real(),
+                                flip_bit(link.m[i][j].imag()));
+    }
+    ++stats_.events;
+    return true;
+  }
+
+ private:
+  bool should_fire() {
+    const std::int64_t opportunity = stats_.opportunities++;
+    if (opportunity < config_.first_opportunity) return false;
+    if (config_.max_events >= 0 && stats_.events >= config_.max_events)
+      return false;
+    return config_.probability >= 1.0 || rng_.uniform() < config_.probability;
+  }
+
+  float flip_bit(float v) {
+    const int bit = config_.bit >= 0 && config_.bit < 32
+                        ? config_.bit
+                        : static_cast<int>(rng_.uniform_u64(32));
+    return std::bit_cast<float>(std::bit_cast<std::uint32_t>(v) ^
+                                (std::uint32_t{1} << bit));
+  }
+  double flip_bit(double v) {
+    const int bit = config_.bit >= 0 && config_.bit < 64
+                        ? config_.bit
+                        : static_cast<int>(rng_.uniform_u64(64));
+    return std::bit_cast<double>(std::bit_cast<std::uint64_t>(v) ^
+                                 (std::uint64_t{1} << bit));
+  }
+
+  FaultInjectorConfig config_;
+  Rng rng_;
+  FaultInjectorStats stats_;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,99 @@
+// Checkpoint/rollback monitor for restarted outer solvers.
+//
+// FGMRES-DR recomputes the TRUE residual b - A x at every cycle boundary
+// while its Arnoldi recursion maintains a projected ESTIMATE of the same
+// quantity. For a healthy solve the two agree to rounding; an undetected
+// corruption of the iterate (SDC) leaves the recursion converging happily
+// while the true residual runs away. The monitor exploits exactly that
+// redundancy:
+//
+//   * each cycle whose true residual improves on the best checkpoint is
+//     checkpointed (one extra field copy per cycle — the <2% overhead
+//     budget of bench_resilience);
+//   * a cycle whose true residual is non-finite, or exceeds the projected
+//     estimate by `detect_ratio` AND is worse than the best checkpoint, is
+//     declared corrupted: x is rolled back to the checkpoint and the
+//     solver is told to discard its subspace and restart from there.
+//
+// An optional FaultInjector is invoked after the detection step, so an
+// injected SDC lands between cycles and must be caught by the NEXT
+// cycle's divergence check — the adversarial ordering.
+#pragma once
+
+#include <cmath>
+
+#include "lqcd/resilience/fault_injector.h"
+#include "lqcd/solver/linear_operator.h"
+
+namespace lqcd {
+
+struct CheckpointMonitorConfig {
+  /// True residual must exceed detect_ratio * estimate to count as
+  /// diverged. Healthy flexible-GMRES cycles keep the two within a few
+  /// percent, so 10x is far outside the fault-free envelope.
+  double detect_ratio = 10.0;
+};
+
+struct CheckpointMonitorStats {
+  int checkpoints = 0;   ///< iterate snapshots taken
+  int rollbacks = 0;     ///< corruptions detected and rolled back
+  std::int64_t injected = 0;  ///< faults the attached injector fired
+};
+
+template <class T>
+class CheckpointMonitor final : public SolveMonitor<T> {
+ public:
+  explicit CheckpointMonitor(const CheckpointMonitorConfig& config = {},
+                             FaultInjector* injector = nullptr)
+      : config_(config), injector_(injector) {}
+
+  const CheckpointMonitorStats& stats() const noexcept { return stats_; }
+
+  void reset() noexcept {
+    stats_ = CheckpointMonitorStats{};
+    has_checkpoint_ = false;
+  }
+
+  /// Invalidate the snapshot (a new right-hand side means a new iterate);
+  /// keeps the accumulated counters.
+  void drop_checkpoint() noexcept { has_checkpoint_ = false; }
+
+  bool on_cycle(int /*iterations*/, double estimated_rel_residual,
+                double true_rel_residual, FermionField<T>& x) override {
+    bool rolled_back = false;
+    const bool diverged =
+        !std::isfinite(true_rel_residual) ||
+        (true_rel_residual >
+             config_.detect_ratio * std::max(estimated_rel_residual, 1e-300) &&
+         has_checkpoint_ && true_rel_residual > checkpoint_rel_residual_);
+    if (diverged && has_checkpoint_) {
+      copy(checkpoint_, x);
+      ++stats_.rollbacks;
+      rolled_back = true;
+    } else if (!diverged &&
+               (!has_checkpoint_ ||
+                true_rel_residual < checkpoint_rel_residual_)) {
+      if (checkpoint_.size() != x.size())
+        checkpoint_ = FermionField<T>(x.size());
+      copy(x, checkpoint_);
+      checkpoint_rel_residual_ = true_rel_residual;
+      has_checkpoint_ = true;
+      ++stats_.checkpoints;
+    }
+    // Inject AFTER detection: the corruption is silent until the next
+    // cycle's true-residual recompute exposes it.
+    if (injector_ != nullptr && injector_->maybe_corrupt(x))
+      ++stats_.injected;
+    return rolled_back;
+  }
+
+ private:
+  CheckpointMonitorConfig config_;
+  FaultInjector* injector_;
+  CheckpointMonitorStats stats_;
+  FermionField<T> checkpoint_;
+  double checkpoint_rel_residual_ = 0.0;
+  bool has_checkpoint_ = false;
+};
+
+}  // namespace lqcd

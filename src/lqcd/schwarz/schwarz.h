@@ -25,6 +25,7 @@
 
 #include "lqcd/dirac/wilson_clover.h"
 #include "lqcd/lattice/domain_partition.h"
+#include "lqcd/resilience/fault_injector.h"
 #include "lqcd/schwarz/storage.h"
 #include "lqcd/solver/linear_operator.h"
 
@@ -47,6 +48,10 @@ struct SchwarzParams {
   /// buffers further. Emulated by rounding the domain residual gather,
   /// the correction, and the face buffers through IEEE binary16.
   bool half_precision_spinors = false;
+  /// Optional fault-injection hook: corrupts the sweep residual once per
+  /// apply() (per the injector's own schedule), modelling SDC or fp16
+  /// range exhaustion inside the preconditioner. nullptr = fault-free.
+  FaultInjector* fault_injector = nullptr;
 };
 
 struct SchwarzStats {
@@ -55,6 +60,8 @@ struct SchwarzStats {
   std::int64_t mr_iterations = 0;  ///< total block-MR iterations
   std::int64_t flops = 0;          ///< floating-point ops executed
   std::int64_t boundary_bytes = 0; ///< bytes written to face buffers
+  std::int64_t injected_faults = 0;     ///< faults the hook fired in sweeps
+  std::int64_t precision_fallbacks = 0; ///< half->single retries (adapter)
 
   void reset() { *this = SchwarzStats{}; }
 };
@@ -159,6 +166,9 @@ class SchwarzPreconditioner final : public Preconditioner<float> {
 
   const SchwarzStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_.reset(); }
+  /// Recorded by the resilient adapter when a non-finite sweep output
+  /// forced a retry on the single-precision fallback matrices.
+  void note_precision_fallback() noexcept { ++stats_.precision_fallbacks; }
   const SchwarzParams& params() const noexcept { return params_; }
   const DomainPartition& partition() const noexcept { return *part_; }
 
@@ -178,6 +188,9 @@ class SchwarzPreconditioner final : public Preconditioner<float> {
     if (r_.size() != volume) r_ = FermionField<float>(volume);
     copy(f, r_);
     ++stats_.applications;
+    if (params_.fault_injector != nullptr &&
+        params_.fault_injector->maybe_corrupt(r_))
+      ++stats_.injected_faults;
 
     for (int s = 0; s < params_.schwarz_iterations; ++s) {
       if (params_.additive) {

@@ -52,7 +52,17 @@ SolverStats bicgstab_solve(const LinearOperator<T>& op,
     ++stats.matvecs;
     const auto r0v = dot(r0, v);
     ++stats.global_sum_events;
-    if (std::abs(r0v) == 0.0) break;  // breakdown
+    if (!std::isfinite(r0v.real()) || !std::isfinite(r0v.imag())) {
+      ++stats.nonfinite_events;
+      stats.breakdown = Breakdown::kNanDetected;
+      break;
+    }
+    if (std::abs(r0v) == 0.0) {
+      // <r0, A p> = 0: alpha undefined. The classic BiCG rho-breakdown;
+      // report it instead of silently falling through to the tail check.
+      stats.breakdown = Breakdown::kRhoBreakdown;
+      break;
+    }
     const std::complex<double> alpha = rho / r0v;
     // s = r - alpha v.
     copy(r, s);
@@ -93,7 +103,15 @@ SolverStats bicgstab_solve(const LinearOperator<T>& op,
     const auto rho_new = dot(r0, r);
     rnorm = norm(r);
     ++stats.global_sum_events;
-    if (std::abs(rho_new) == 0.0 || std::abs(omega) == 0.0) break;
+    if (!std::isfinite(rnorm)) {
+      ++stats.nonfinite_events;
+      stats.breakdown = Breakdown::kNanDetected;
+      break;
+    }
+    if (std::abs(rho_new) == 0.0 || std::abs(omega) == 0.0) {
+      stats.breakdown = Breakdown::kRhoBreakdown;
+      break;
+    }
     const std::complex<double> beta = (rho_new / rho) * (alpha / omega);
     rho = rho_new;
     // p = r + beta (p - omega v).
@@ -109,6 +127,10 @@ SolverStats bicgstab_solve(const LinearOperator<T>& op,
   stats.final_relative_residual = rnorm / bnorm;
   if (stats.final_relative_residual <= params.tolerance)
     stats.converged = true;
+  if (stats.converged)
+    stats.breakdown = Breakdown::kNone;
+  else if (stats.breakdown == Breakdown::kNone)
+    stats.breakdown = Breakdown::kMaxIterations;
   return stats;
 }
 

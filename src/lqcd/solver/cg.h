@@ -47,6 +47,11 @@ SolverStats cg_solve(const LinearOperator<T>& op, const FermionField<T>& b,
     ++stats.matvecs;
     const auto pap = dot(p, ap);
     ++stats.global_sum_events;
+    if (!std::isfinite(pap.real()) || !std::isfinite(rr)) {
+      ++stats.nonfinite_events;
+      stats.breakdown = Breakdown::kNanDetected;
+      break;
+    }
     LQCD_CHECK_MSG(pap.real() > 0,
                    "CG requires a positive-definite operator");
     const T alpha = static_cast<T>(rr / pap.real());
@@ -64,6 +69,10 @@ SolverStats cg_solve(const LinearOperator<T>& op, const FermionField<T>& b,
   stats.final_relative_residual = std::sqrt(rr) / bnorm;
   if (stats.final_relative_residual <= params.tolerance)
     stats.converged = true;
+  if (stats.converged)
+    stats.breakdown = Breakdown::kNone;
+  else if (stats.breakdown == Breakdown::kNone)
+    stats.breakdown = Breakdown::kMaxIterations;
   return stats;
 }
 

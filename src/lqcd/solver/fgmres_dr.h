@@ -29,13 +29,26 @@ struct FGMRESDRParams {
   int deflation_size = 0;   ///< k: harmonic Ritz vectors kept at restart
   int max_iterations = 2000;  ///< total Arnoldi steps across cycles
   double tolerance = 1e-10;   ///< relative residual target
+  /// A cycle whose true residual fails to drop below
+  /// stagnation_threshold x the previous cycle's counts as stagnant;
+  /// after max_stagnant_cycles consecutive stagnant cycles the deflation
+  /// subspace is discarded and the solve restarts plain from the freshly
+  /// recomputed true residual (residual replacement). A healthy deflated
+  /// solve reduces the residual every cycle, so this never fires on the
+  /// fault-free path.
+  double stagnation_threshold = 0.999;
+  int max_stagnant_cycles = 3;
 };
 
+/// `monitor` (optional) is called at every cycle boundary with the
+/// projected and true relative residuals; see SolveMonitor. Passing
+/// nullptr reproduces the unmonitored solve bit-for-bit.
 template <class T>
 SolverStats fgmres_dr_solve(const LinearOperator<T>& op,
                             Preconditioner<T>* precond,
                             const FermionField<T>& b, FermionField<T>& x,
-                            const FGMRESDRParams& params) {
+                            const FGMRESDRParams& params,
+                            SolveMonitor<T>* monitor = nullptr) {
   using densela::Cplx;
   using densela::Matrix;
 
@@ -69,6 +82,12 @@ SolverStats fgmres_dr_solve(const LinearOperator<T>& op,
   sub(b, r, r);
   double rnorm = norm(r);
   ++stats.global_sum_events;
+  if (!std::isfinite(rnorm)) {
+    ++stats.nonfinite_events;
+    stats.breakdown = Breakdown::kNanDetected;
+    stats.final_relative_residual = rnorm / bnorm;
+    return stats;
+  }
 
   auto restart_plain = [&](double rn) {
     h = Matrix(m + 1, m);
@@ -79,11 +98,14 @@ SolverStats fgmres_dr_solve(const LinearOperator<T>& op,
   };
   restart_plain(rnorm);
   int j0 = 0;
+  double prev_cycle_rnorm = rnorm;
+  int stagnant_cycles = 0;
 
   while (stats.iterations < params.max_iterations &&
          rnorm / bnorm > params.tolerance) {
     // ---- Arnoldi steps j0 .. m-1 -------------------------------------
     int mcur = j0;
+    bool defective = false;  // a basis column had to be discarded
     for (int j = j0; j < m && stats.iterations < params.max_iterations;
          ++j) {
       if (precond != nullptr) {
@@ -112,7 +134,34 @@ SolverStats fgmres_dr_solve(const LinearOperator<T>& op,
       ++stats.global_sum_events;
       mcur = j + 1;
       ++stats.iterations;
-      if (wnorm < 1e-300) break;  // happy breakdown: Krylov space exhausted
+      if (!std::isfinite(wnorm)) {
+        // NaN/Inf entered the basis (corrupted operator or preconditioner
+        // output). x is only updated at cycle end, so it is still clean:
+        // drop the poisoned column and rebuild from the true residual.
+        ++stats.nonfinite_events;
+        mcur = j;
+        defective = true;
+        break;
+      }
+      if (wnorm < 1e-300) {
+        // Either the Krylov space is exhausted at the solution (happy
+        // breakdown: w collapsed under orthogonalization, the h column is
+        // nonzero) or the preconditioner returned a degenerate direction
+        // (w was ~0 to begin with, the h column is exactly zero and the
+        // projected least-squares would be rank-deficient). Only the
+        // latter needs the column excluded and a restart.
+        bool zero_column = true;
+        for (int i = 0; i <= j; ++i)
+          if (h(i, j) != Cplx(0, 0)) {
+            zero_column = false;
+            break;
+          }
+        if (zero_column) {
+          mcur = j;
+          defective = true;
+        }
+        break;
+      }
       h(j + 1, j) = Cplx(wnorm, 0);
       copy(w, v[static_cast<std::size_t>(j + 1)]);
       scal(static_cast<T>(1.0 / wnorm), v[static_cast<std::size_t>(j + 1)]);
@@ -132,7 +181,17 @@ SolverStats fgmres_dr_solve(const LinearOperator<T>& op,
       stats.residual_history.push_back(est / bnorm);
       if (est / bnorm <= params.tolerance) break;
     }
-    if (mcur == 0) break;  // could not build any basis vector
+    if (mcur == 0) {
+      if (!defective) break;  // could not build any basis vector
+      // Every direction this cycle was degenerate. Residual replacement:
+      // discard the subspace and restart plain from the current true
+      // residual (x is unchanged, r/rnorm are still current). Bounded by
+      // max_iterations — each failed attempt consumed an Arnoldi step.
+      ++stats.stagnation_restarts;
+      restart_plain(rnorm);
+      j0 = 0;
+      continue;
+    }
 
     // ---- Projected solve and solution update ------------------------
     Matrix hj(mcur + 1, mcur);
@@ -151,6 +210,13 @@ SolverStats fgmres_dr_solve(const LinearOperator<T>& op,
       c_hat[static_cast<std::size_t>(i)] =
           cj[static_cast<std::size_t>(i)] - hy[static_cast<std::size_t>(i)];
 
+    // Projected (recursive) residual estimate at the cycle boundary —
+    // what the Arnoldi recursion believes ||b - A x|| is.
+    double chat2 = 0;
+    for (int i = 0; i < mcur + 1; ++i)
+      chat2 += std::norm(c_hat[static_cast<std::size_t>(i)]);
+    const double est_rel = std::sqrt(chat2) / bnorm;
+
     // True residual (recomputed; also what a production code does each
     // cycle to guard against drift of the projected estimate).
     op.apply(x, r);
@@ -158,9 +224,54 @@ SolverStats fgmres_dr_solve(const LinearOperator<T>& op,
     sub(b, r, r);
     rnorm = norm(r);
     ++stats.global_sum_events;
+    if (monitor != nullptr &&
+        monitor->on_cycle(stats.iterations, est_rel, rnorm / bnorm, x)) {
+      // The monitor changed x (checkpoint rollback after detecting that
+      // the recursive and true residuals diverged): recompute the
+      // residual of the restored iterate and restart clean from it.
+      ++stats.rollback_restarts;
+      op.apply(x, r);
+      ++stats.matvecs;
+      sub(b, r, r);
+      rnorm = norm(r);
+      ++stats.global_sum_events;
+      if (!std::isfinite(rnorm)) {
+        ++stats.nonfinite_events;
+        stats.breakdown = Breakdown::kNanDetected;
+        break;
+      }
+      restart_plain(rnorm);
+      j0 = 0;
+      prev_cycle_rnorm = rnorm;
+      stagnant_cycles = 0;
+      continue;
+    }
+    if (!std::isfinite(rnorm)) {
+      ++stats.nonfinite_events;
+      stats.breakdown = Breakdown::kNanDetected;
+      break;
+    }
     if (rnorm / bnorm <= params.tolerance) break;
 
+    // Restart-on-stagnation: consecutive cycles without real progress
+    // mean the carried subspace is poisoned (or useless); fall back to a
+    // plain restart, replacing the recursive residual with the true one.
+    bool force_plain = defective;
+    if (rnorm > params.stagnation_threshold * prev_cycle_rnorm) {
+      if (++stagnant_cycles >= params.max_stagnant_cycles) force_plain = true;
+    } else {
+      stagnant_cycles = 0;
+    }
+    prev_cycle_rnorm = rnorm;
+
     // ---- Restart ------------------------------------------------------
+    if (force_plain) {
+      ++stats.stagnation_restarts;
+      stagnant_cycles = 0;
+      restart_plain(rnorm);
+      j0 = 0;
+      continue;
+    }
     if (k == 0 || mcur < m) {
       restart_plain(rnorm);
       j0 = 0;
@@ -253,6 +364,10 @@ SolverStats fgmres_dr_solve(const LinearOperator<T>& op,
 
   stats.final_relative_residual = rnorm / bnorm;
   stats.converged = stats.final_relative_residual <= params.tolerance;
+  if (stats.converged)
+    stats.breakdown = Breakdown::kNone;
+  else if (stats.breakdown == Breakdown::kNone)
+    stats.breakdown = Breakdown::kMaxIterations;
   return stats;
 }
 

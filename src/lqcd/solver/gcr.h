@@ -83,7 +83,16 @@ SolverStats gcr_solve(const LinearOperator<T>& op, Preconditioner<T>* precond,
       const auto apr = dot(az, r);
       const double apap = norm2(az);
       ++stats.global_sum_events;
-      if (apap == 0.0) break;  // stagnation: z in the null space
+      if (!std::isfinite(apap) || !std::isfinite(rnorm)) {
+        ++stats.nonfinite_events;
+        stats.breakdown = Breakdown::kNanDetected;
+        break;
+      }
+      if (apap == 0.0) {
+        // z in the null space of op: no usable direction.
+        stats.breakdown = Breakdown::kStagnation;
+        break;
+      }
       p.push_back(FermionField<T>(n));
       ap.push_back(FermionField<T>(n));
       copy(z, p.back());
@@ -99,9 +108,16 @@ SolverStats gcr_solve(const LinearOperator<T>& op, Preconditioner<T>* precond,
       stats.residual_history.push_back(rnorm / bnorm);
       if (rnorm / bnorm <= params.tolerance) break;
     }
+    // A recorded breakdown makes the restart a no-op (same r, same z):
+    // re-entering would loop forever, so stop here.
+    if (stats.breakdown != Breakdown::kNone) break;
   }
   stats.final_relative_residual = rnorm / bnorm;
   stats.converged = stats.final_relative_residual <= params.tolerance;
+  if (stats.converged)
+    stats.breakdown = Breakdown::kNone;
+  else if (stats.breakdown == Breakdown::kNone)
+    stats.breakdown = Breakdown::kMaxIterations;
   return stats;
 }
 

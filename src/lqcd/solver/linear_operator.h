@@ -49,6 +49,29 @@ class IdentityPreconditioner final : public Preconditioner<T> {
   }
 };
 
+/// Why a solve terminated without reaching its tolerance. kNone for a
+/// converged (or intentionally fixed-count) solve; anything else is a
+/// structured replacement for the silent `break`s the Krylov kernels used
+/// to take on numerical breakdown.
+enum class Breakdown {
+  kNone = 0,
+  kRhoBreakdown,   ///< Lanczos/BiCG scalar hit exact zero (rho, omega, r0·v)
+  kNanDetected,    ///< NaN/Inf in a residual norm or inner product
+  kStagnation,     ///< no usable search direction / no residual decrease
+  kMaxIterations,  ///< iteration budget exhausted
+};
+
+inline const char* to_string(Breakdown b) noexcept {
+  switch (b) {
+    case Breakdown::kNone: return "none";
+    case Breakdown::kRhoBreakdown: return "rho_breakdown";
+    case Breakdown::kNanDetected: return "nan_detected";
+    case Breakdown::kStagnation: return "stagnation";
+    case Breakdown::kMaxIterations: return "max_iterations";
+  }
+  return "?";
+}
+
 struct SolverStats {
   bool converged = false;
   int iterations = 0;          ///< outer/Krylov iterations
@@ -57,6 +80,25 @@ struct SolverStats {
   std::int64_t global_sum_events = 0;  ///< batched reductions
   double final_relative_residual = 0.0;
   std::vector<double> residual_history;  ///< relative residual per iteration
+  Breakdown breakdown = Breakdown::kNone;  ///< why the solve ended, if failed
+  int stagnation_restarts = 0;  ///< forced plain restarts (residual replaced)
+  int rollback_restarts = 0;    ///< monitor-driven checkpoint rollbacks
+  std::int64_t nonfinite_events = 0;  ///< NaN/Inf detections survived
+};
+
+/// Cycle-granularity observer for restarted outer solvers. on_cycle() is
+/// invoked each time the solver has just recomputed the TRUE residual of
+/// the current iterate x, alongside the recursively maintained (projected)
+/// estimate. The monitor may mutate x — e.g. roll it back to a checkpoint
+/// when the two residuals diverge (silent data corruption) — and must then
+/// return true, which forces the solver to recompute the residual and
+/// restart from the modified iterate.
+template <class T>
+class SolveMonitor {
+ public:
+  virtual ~SolveMonitor() = default;
+  virtual bool on_cycle(int iterations, double estimated_rel_residual,
+                        double true_rel_residual, FermionField<T>& x) = 0;
 };
 
 /// Diagonal operator with a prescribed per-site spectrum — used by solver

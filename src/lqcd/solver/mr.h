@@ -59,7 +59,16 @@ SolverStats mr_solve(const LinearOperator<T>& op, const FermionField<T>& b,
     const auto arr = dot(ar, r);
     const double arar = norm2(ar);
     ++stats.global_sum_events;
-    if (arar == 0.0) break;  // r in the null space of op: stagnation
+    if (!std::isfinite(arar) || !std::isfinite(rnorm2)) {
+      ++stats.nonfinite_events;
+      stats.breakdown = Breakdown::kNanDetected;
+      break;
+    }
+    if (arar == 0.0) {
+      // r in the null space of op: no usable direction.
+      stats.breakdown = Breakdown::kStagnation;
+      break;
+    }
     const Complex<T> alpha(
         static_cast<T>(omega * arr.real() / arar),
         static_cast<T>(omega * arr.imag() / arar));
@@ -74,6 +83,12 @@ SolverStats mr_solve(const LinearOperator<T>& op, const FermionField<T>& b,
   stats.final_relative_residual = std::sqrt(rnorm2) / bnorm;
   if (params.tolerance > 0 && stats.final_relative_residual <= params.tolerance)
     stats.converged = true;
+  if (stats.converged)
+    stats.breakdown = Breakdown::kNone;
+  else if (params.tolerance > 0 && stats.breakdown == Breakdown::kNone)
+    stats.breakdown = Breakdown::kMaxIterations;
+  // tolerance <= 0 is the fixed-iteration-count mode: running out the
+  // budget is the intended completion, not a breakdown.
   return stats;
 }
 

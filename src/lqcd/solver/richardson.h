@@ -52,6 +52,11 @@ SolverStats richardson_solve(const LinearOperator<TOuter>& op_outer,
     sub(b, r, r);
     const double rnorm = norm(r);
     ++stats.global_sum_events;
+    if (!std::isfinite(rnorm)) {
+      ++stats.nonfinite_events;
+      stats.breakdown = Breakdown::kNanDetected;
+      return stats;
+    }
     stats.residual_history.push_back(rnorm / bnorm);
     stats.final_relative_residual = rnorm / bnorm;
     if (rnorm / bnorm <= params.tolerance) {
@@ -64,10 +69,19 @@ SolverStats richardson_solve(const LinearOperator<TOuter>& op_outer,
     stats.iterations += inner_stats.iterations;
     stats.matvecs += inner_stats.matvecs;
     stats.global_sum_events += inner_stats.global_sum_events;
+    stats.nonfinite_events += inner_stats.nonfinite_events;
     ++stats.precond_applications;  // one inner solve
+    // An inner solve that broke down may hand back a poisoned correction;
+    // applying it would corrupt the (so far clean) outer iterate. Skip the
+    // update — the outer recursion retries the residual equation, which is
+    // exactly the defect-correction resilience the scheme already has.
+    if (inner_stats.breakdown == Breakdown::kNanDetected ||
+        !all_finite(corr_inner))
+      continue;
     convert(corr_inner, corr_outer);
     axpy(TOuter(1), corr_outer, x);
   }
+  stats.breakdown = Breakdown::kMaxIterations;
   return stats;
 }
 
