@@ -62,24 +62,110 @@ DDSolver::DDSolver(const Geometry& geom, const GaugeField<double>& gauge,
   linop_ = std::make_unique<WilsonCloverLinOp<double>>(*op_d_);
 }
 
-SolverStats DDSolver::solve(const FermionField<double>& b,
-                            FermionField<double>& x) {
+FGMRESDRParams DDSolver::outer_params() const {
   FGMRESDRParams p;
   p.basis_size = config_.basis_size;
   p.deflation_size = config_.deflation_size;
   p.tolerance = config_.tolerance;
   p.max_iterations = config_.max_iterations;
+  p.stagnation_threshold = config_.stagnation_threshold;
+  p.max_stagnant_cycles = config_.max_stagnant_cycles;
+  return p;
+}
+
+SolverStats DDSolver::solve(const FermionField<double>& b,
+                            FermionField<double>& x) {
   if (monitor_) monitor_->drop_checkpoint();
   Preconditioner<double>* pre = resilient_adapter_
                                     ? static_cast<Preconditioner<double>*>(
                                           resilient_adapter_.get())
                                     : adapter_.get();
-  return fgmres_dr_solve<double>(*linop_, pre, b, x, p, monitor_.get());
+  return fgmres_dr_solve<double>(*linop_, pre, b, x, outer_params(),
+                                 monitor_.get());
 }
 
-const SchwarzStats& DDSolver::schwarz_stats() const {
-  return config_.half_precision_matrices ? schwarz_half_->stats()
-                                         : schwarz_single_->stats();
+std::vector<SolverStats> DDSolver::solve_batch(
+    const std::vector<FermionField<double>>& b,
+    std::vector<FermionField<double>>& x) {
+  LQCD_CHECK_MSG(b.size() == x.size(), "solve_batch needs |b| == |x|");
+  const int nrhs = static_cast<int>(b.size());
+  std::vector<SolverStats> out(static_cast<std::size_t>(nrhs));
+  if (nrhs == 0) return out;
+
+  const FGMRESDRParams p = outer_params();
+  BatchPreconditioner<double>* pre =
+      resilient_adapter_
+          ? static_cast<BatchPreconditioner<double>*>(resilient_adapter_.get())
+          : adapter_.get();
+  DeflationSpace<double> recycle;
+  DeflationSpace<double>* rec = config_.deflation_size > 0 ? &recycle : nullptr;
+
+  // RHS 0 runs alone: its solve seeds the recycled deflation subspace the
+  // rest of the batch projects against. (With nrhs == 1 this path is the
+  // whole call and executes exactly what solve() executes.)
+  if (monitor_) monitor_->drop_checkpoint();
+  out[0] = fgmres_dr_solve<double>(*linop_, pre, b[0], x[0], p,
+                                   monitor_.get(), rec);
+  if (nrhs == 1) return out;
+
+  // Remaining RHS advance in lockstep. Each lane gets its own
+  // CheckpointMonitor (the checkpoint is per-iterate state); counters are
+  // merged back into the long-lived monitor afterwards.
+  const int nlanes = nrhs - 1;
+  std::vector<std::unique_ptr<CheckpointMonitor<double>>> lane_monitors(
+      static_cast<std::size_t>(nlanes));
+  std::vector<std::unique_ptr<FgmresDrEngine<double>>> lanes(
+      static_cast<std::size_t>(nlanes));
+  const ResilienceConfig& rc = config_.resilience;
+  for (int i = 0; i < nlanes; ++i) {
+    const auto li = static_cast<std::size_t>(i);
+    if (monitor_) {
+      CheckpointMonitorConfig mc;
+      mc.detect_ratio = rc.rollback_detect_ratio;
+      lane_monitors[li] = std::make_unique<CheckpointMonitor<double>>(
+          mc, rc.iterate_injector);
+    }
+    lanes[li] = std::make_unique<FgmresDrEngine<double>>(
+        *linop_, b[static_cast<std::size_t>(i + 1)],
+        x[static_cast<std::size_t>(i + 1)], p, lane_monitors[li].get(), rec);
+  }
+
+  std::vector<const FermionField<double>*> pin;
+  std::vector<FermionField<double>*> pout;
+  std::vector<int> active;
+  for (;;) {
+    pin.clear();
+    pout.clear();
+    active.clear();
+    for (int i = 0; i < nlanes; ++i) {
+      auto& e = *lanes[static_cast<std::size_t>(i)];
+      if (e.done()) continue;
+      active.push_back(i);
+      pin.push_back(&e.precond_input());
+      pout.push_back(&e.precond_output());
+    }
+    if (active.empty()) break;
+    pre->apply_batch(pin, pout);
+    for (const int i : active) {
+      auto& e = *lanes[static_cast<std::size_t>(i)];
+      e.note_precond_application();
+      e.advance();
+    }
+  }
+  for (int i = 0; i < nlanes; ++i) {
+    const auto li = static_cast<std::size_t>(i);
+    out[static_cast<std::size_t>(i + 1)] = lanes[li]->finish();
+    if (lane_monitors[li] && monitor_)
+      monitor_->absorb_stats(lane_monitors[li]->stats());
+  }
+  return out;
+}
+
+SchwarzStats DDSolver::schwarz_stats() const {
+  SchwarzStats s;
+  if (schwarz_half_) s += schwarz_half_->stats();
+  if (schwarz_single_) s += schwarz_single_->stats();
+  return s;
 }
 
 void DDSolver::reset_stats() {

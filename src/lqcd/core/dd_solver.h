@@ -57,16 +57,26 @@ struct DDSolverConfig {
   bool half_precision_spinors = false;
   double tolerance = 1e-10;    ///< relative residual target (outer, double)
   int max_iterations = 2000;   ///< outer Arnoldi steps
+  /// Outer-solver stagnation handling (see FGMRESDRParams): a cycle whose
+  /// true residual fails to shrink below stagnation_threshold x the
+  /// previous cycle's counts as stagnant; max_stagnant_cycles consecutive
+  /// stagnant cycles force a plain restart with residual replacement.
+  double stagnation_threshold = 0.999;
+  int max_stagnant_cycles = 3;
   ResilienceConfig resilience; ///< breakdown detection & recovery layer
 };
 
 /// Bridges the double-precision outer solver to the float preconditioner:
 /// converts in, applies M, converts out (the paper's Sec. III precision
 /// split).
-class SchwarzPrecondAdapter final : public Preconditioner<double> {
+class SchwarzPrecondAdapter final : public BatchPreconditioner<double> {
  public:
   SchwarzPrecondAdapter(Preconditioner<float>& inner, std::int64_t n)
-      : inner_(&inner), in_f_(n), out_f_(n) {}
+      : inner_(&inner),
+        batch_inner_(dynamic_cast<BatchPreconditioner<float>*>(&inner)),
+        n_(n),
+        in_f_(n),
+        out_f_(n) {}
 
   void apply(const FermionField<double>& in,
              FermionField<double>& out) override {
@@ -75,9 +85,42 @@ class SchwarzPrecondAdapter final : public Preconditioner<double> {
     convert(out_f_, out);
   }
 
+  /// Batched precision bridge: converts the whole batch to float and
+  /// hands it to the inner preconditioner's apply_batch, so one Schwarz
+  /// sweep streams each domain's matrices once for all RHS.
+  void apply_batch(const std::vector<const FermionField<double>*>& in,
+                   const std::vector<FermionField<double>*>& out) override {
+    const std::size_t nrhs = in.size();
+    grow_batch(nrhs);
+    std::vector<const FermionField<float>*> fin(nrhs);
+    std::vector<FermionField<float>*> fout(nrhs);
+    for (std::size_t b = 0; b < nrhs; ++b) {
+      convert(*in[b], in_b_[b]);
+      fin[b] = &in_b_[b];
+      fout[b] = &out_b_[b];
+    }
+    if (batch_inner_ != nullptr) {
+      batch_inner_->apply_batch(fin, fout);
+    } else {
+      for (std::size_t b = 0; b < nrhs; ++b)
+        inner_->apply(in_b_[b], out_b_[b]);
+    }
+    for (std::size_t b = 0; b < nrhs; ++b) convert(out_b_[b], *out[b]);
+  }
+
  private:
+  void grow_batch(std::size_t nrhs) {
+    while (in_b_.size() < nrhs) {
+      in_b_.emplace_back(n_);
+      out_b_.emplace_back(n_);
+    }
+  }
+
   Preconditioner<float>* inner_;
+  BatchPreconditioner<float>* batch_inner_;
+  std::int64_t n_;
   FermionField<float> in_f_, out_f_;
+  std::vector<FermionField<float>> in_b_, out_b_;
 };
 
 /// Hardened precision bridge: like SchwarzPrecondAdapter, but it scans
@@ -88,14 +131,16 @@ class SchwarzPrecondAdapter final : public Preconditioner<double> {
 /// discards the degenerate direction and restarts (Lüscher's observation
 /// that the Schwarz preconditioner tolerates inexact block solves is what
 /// makes both degradation paths safe).
-class ResilientSchwarzAdapter final : public Preconditioner<double> {
+class ResilientSchwarzAdapter final : public BatchPreconditioner<double> {
  public:
   ResilientSchwarzAdapter(Preconditioner<float>& primary,
                           Preconditioner<float>* fallback,
                           std::function<void()> on_fallback, std::int64_t n)
       : primary_(&primary),
+        batch_primary_(dynamic_cast<BatchPreconditioner<float>*>(&primary)),
         fallback_(fallback),
         on_fallback_(std::move(on_fallback)),
+        n_(n),
         in_f_(n),
         out_f_(n) {}
 
@@ -111,11 +156,53 @@ class ResilientSchwarzAdapter final : public Preconditioner<double> {
     convert(out_f_, out);
   }
 
+  /// Batched apply with per-RHS recovery: the whole batch runs on the
+  /// half-precision matrices; only the RHS whose outputs came back
+  /// non-finite are retried individually on the single-precision
+  /// fallback (an fp16 overflow poisons one lane, not the batch).
+  void apply_batch(const std::vector<const FermionField<double>*>& in,
+                   const std::vector<FermionField<double>*>& out) override {
+    const std::size_t nrhs = in.size();
+    grow_batch(nrhs);
+    std::vector<const FermionField<float>*> fin(nrhs);
+    std::vector<FermionField<float>*> fout(nrhs);
+    for (std::size_t b = 0; b < nrhs; ++b) {
+      convert(*in[b], in_b_[b]);
+      fin[b] = &in_b_[b];
+      fout[b] = &out_b_[b];
+    }
+    if (batch_primary_ != nullptr) {
+      batch_primary_->apply_batch(fin, fout);
+    } else {
+      for (std::size_t b = 0; b < nrhs; ++b)
+        primary_->apply(in_b_[b], out_b_[b]);
+    }
+    for (std::size_t b = 0; b < nrhs; ++b) {
+      if (!all_finite(out_b_[b])) {
+        if (on_fallback_) on_fallback_();
+        if (fallback_ != nullptr) fallback_->apply(in_b_[b], out_b_[b]);
+        if (fallback_ == nullptr || !all_finite(out_b_[b]))
+          out_b_[b].zero();
+      }
+      convert(out_b_[b], *out[b]);
+    }
+  }
+
  private:
+  void grow_batch(std::size_t nrhs) {
+    while (in_b_.size() < nrhs) {
+      in_b_.emplace_back(n_);
+      out_b_.emplace_back(n_);
+    }
+  }
+
   Preconditioner<float>* primary_;
+  BatchPreconditioner<float>* batch_primary_;
   Preconditioner<float>* fallback_;
   std::function<void()> on_fallback_;
+  std::int64_t n_;
   FermionField<float> in_f_, out_f_;
+  std::vector<FermionField<float>> in_b_, out_b_;
 };
 
 class DDSolver {
@@ -128,12 +215,25 @@ class DDSolver {
   /// Solve A x = b to the configured relative residual.
   SolverStats solve(const FermionField<double>& b, FermionField<double>& x);
 
+  /// Solve A x[i] = b[i] for a batch of right-hand sides (paper Sec. VI).
+  /// The first RHS is solved alone and seeds a recycled harmonic-Ritz
+  /// deflation subspace (its initial-residual projection gives the later
+  /// RHS a head start); the remaining RHS then advance in lockstep so
+  /// every preconditioner application is one batched Schwarz sweep that
+  /// streams each domain's packed matrices once for the whole batch.
+  /// With b.size() == 1 this is bit-identical to solve().
+  std::vector<SolverStats> solve_batch(
+      const std::vector<FermionField<double>>& b,
+      std::vector<FermionField<double>>& x);
+
   const DDSolverConfig& config() const noexcept { return config_; }
   const WilsonCloverOperator<double>& op() const noexcept { return *op_d_; }
   const DomainPartition& partition() const noexcept { return *part_; }
 
-  /// Counters accumulated inside the Schwarz preconditioner.
-  const SchwarzStats& schwarz_stats() const;
+  /// Counters accumulated inside the Schwarz preconditioner(s). Merged
+  /// across the half-precision primary AND the single-precision fallback,
+  /// so sweeps executed during precision_fallback retries are reported.
+  SchwarzStats schwarz_stats() const;
   void reset_stats();
 
   /// Checkpoint/rollback counters; nullptr when resilience is disabled.
@@ -142,6 +242,8 @@ class DDSolver {
   }
 
  private:
+  FGMRESDRParams outer_params() const;
+
   DDSolverConfig config_;
   const Geometry* geom_;
   Checkerboard cb_;

@@ -33,6 +33,13 @@ struct KernelWork {
   double mem_bytes = 0;  ///< bytes streamed from/to main memory
 };
 
+/// Arithmetic intensity against main memory (flops per streamed byte) —
+/// the quantity multi-RHS batching multiplies: matrix bytes are charged
+/// once per batched domain visit while flops scale with nrhs.
+inline double arithmetic_intensity(const KernelWork& w) noexcept {
+  return w.mem_bytes > 0 ? w.flops / w.mem_bytes : 0.0;
+}
+
 struct KernelModelParams {
   double l2_stall_cpb_none = 0.30;
   double l2_stall_cpb_prefetch = 0.135;

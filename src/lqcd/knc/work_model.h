@@ -55,8 +55,14 @@ inline double block_schur_flops(const Coord& block) noexcept {
   return 168.0 * 2.0 * hops + vd * 504.0 / 2.0 * 2.0 + (vd / 2.0) * 24.0;
 }
 
+/// `nrhs` models the multi-RHS batched domain visit (paper Sec. VI): the
+/// packed gauge+clover matrices are streamed ONCE per visit while every
+/// spinor quantity — flops, spinor traffic, packed buffers — scales with
+/// the number of right-hand sides. nrhs = 1 reproduces the historical
+/// single-RHS descriptor exactly.
 inline BlockSolveWork block_solve_work(const Coord& block, int idomain,
-                                       bool half_matrices) noexcept {
+                                       bool half_matrices,
+                                       int nrhs = 1) noexcept {
   BlockSolveWork w;
   const double vd = static_cast<double>(block_volume(block));
   const double hv = vd / 2.0;
@@ -64,6 +70,7 @@ inline BlockSolveWork block_solve_work(const Coord& block, int idomain,
   const double faces = static_cast<double>(block_face_sites(block));
   const double spinor_site_bytes = 96.0;  // 24 floats
   const double matrix_scalar = half_matrices ? 2.0 : 4.0;
+  const double nb = static_cast<double>(nrhs);
 
   const double schur = block_schur_flops(block);
   const double mr_iter = schur + hv * 24.0 * 3.0 /* dots */ +
@@ -75,24 +82,25 @@ inline BlockSolveWork block_solve_work(const Coord& block, int idomain,
   // forward-face data is reconstructed directly (48 flops/site), the
   // backward-face data is link-multiplied first (132 + 48 flops/site).
   const double consume = faces / 2.0 * 48.0 + faces / 2.0 * 180.0;
-  w.flops = idomain * mr_iter + rhs + reconstruct + pack + consume;
+  w.flops = nb * (idomain * mr_iter + rhs + reconstruct + pack + consume);
 
-  // L2 working-set traffic per Schur apply: the matrices plus ~4
-  // half-volume spinor streams.
+  // L2 working-set traffic per Schur apply: the matrices (batch-shared)
+  // plus ~4 half-volume spinor streams per RHS.
   w.matrix_bytes = vd * (72.0 + 72.0) * matrix_scalar;
-  w.l2_bytes_per_schur = w.matrix_bytes + 4.0 * hv * spinor_site_bytes;
-  w.pack_bytes = faces * spinor_site_bytes / 2.0;  // half-spinors: 48 B
+  w.l2_bytes_per_schur = w.matrix_bytes + nb * 4.0 * hv * spinor_site_bytes;
+  w.pack_bytes = nb * faces * spinor_site_bytes / 2.0;  // half-spinors: 48 B
 
   w.kernel.flops = w.flops;
   // The matrices (and spinor temporaries) are touched once per Schur
   // apply: Idomain MR iterations plus the RHS preparation and the odd
   // reconstruction, each of which performs one matrix sweep.
   w.kernel.l2_bytes = (idomain + 2.0) * w.l2_bytes_per_schur;
-  // Streamed from memory once per block solve: the matrices plus the
-  // residual gather and the u/r/z writes, plus the packed buffers.
+  // Streamed from memory once per batched domain visit: the matrices
+  // (once!) plus, per RHS, the residual gather and the u/r/z writes and
+  // the packed buffers — this is the whole point of batching.
   w.kernel.mem_bytes =
-      w.matrix_bytes + 3.0 * vd * spinor_site_bytes + w.pack_bytes;
-  w.working_set_bytes = w.matrix_bytes + 7.0 * hv * spinor_site_bytes;
+      w.matrix_bytes + nb * 3.0 * vd * spinor_site_bytes + w.pack_bytes;
+  w.working_set_bytes = w.matrix_bytes + nb * 7.0 * hv * spinor_site_bytes;
   return w;
 }
 

@@ -38,6 +38,13 @@ struct CheckpointMonitorStats {
   int checkpoints = 0;   ///< iterate snapshots taken
   int rollbacks = 0;     ///< corruptions detected and rolled back
   std::int64_t injected = 0;  ///< faults the attached injector fired
+
+  CheckpointMonitorStats& operator+=(const CheckpointMonitorStats& o) noexcept {
+    checkpoints += o.checkpoints;
+    rollbacks += o.rollbacks;
+    injected += o.injected;
+    return *this;
+  }
 };
 
 template <class T>
@@ -57,6 +64,12 @@ class CheckpointMonitor final : public SolveMonitor<T> {
   /// Invalidate the snapshot (a new right-hand side means a new iterate);
   /// keeps the accumulated counters.
   void drop_checkpoint() noexcept { has_checkpoint_ = false; }
+
+  /// Fold another monitor's counters into this one. A batched solve runs
+  /// one monitor per right-hand side (checkpoints are per-iterate state
+  /// and must never be shared across lanes) and merges the counters back
+  /// into the solver's long-lived monitor afterwards.
+  void absorb_stats(const CheckpointMonitorStats& o) noexcept { stats_ += o; }
 
   bool on_cycle(int /*iterations*/, double estimated_rel_residual,
                 double true_rel_residual, FermionField<T>& x) override {

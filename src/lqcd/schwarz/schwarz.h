@@ -55,19 +55,44 @@ struct SchwarzParams {
 };
 
 struct SchwarzStats {
-  std::int64_t applications = 0;   ///< M applications
+  std::int64_t applications = 0;   ///< M applications (one per RHS)
   std::int64_t block_solves = 0;
   std::int64_t mr_iterations = 0;  ///< total block-MR iterations
   std::int64_t flops = 0;          ///< floating-point ops executed
   std::int64_t boundary_bytes = 0; ///< bytes written to face buffers
   std::int64_t injected_faults = 0;     ///< faults the hook fired in sweeps
   std::int64_t precision_fallbacks = 0; ///< half->single retries (adapter)
+  /// Times a domain's packed gauge+clover block was streamed from its
+  /// backing storage. Charged once per domain VISIT — a batched sweep
+  /// loads the matrices once and applies them to every RHS — so
+  /// matrix_block_loads per sweep is independent of the batch width
+  /// while block_solves scales with it (paper Sec. VI).
+  std::int64_t matrix_block_loads = 0;
+  std::int64_t sweeps = 0;  ///< full Schwarz sweeps executed
 
   void reset() { *this = SchwarzStats{}; }
+
+  SchwarzStats& operator+=(const SchwarzStats& o) noexcept {
+    applications += o.applications;
+    block_solves += o.block_solves;
+    mr_iterations += o.mr_iterations;
+    flops += o.flops;
+    boundary_bytes += o.boundary_bytes;
+    injected_faults += o.injected_faults;
+    precision_fallbacks += o.precision_fallbacks;
+    matrix_block_loads += o.matrix_block_loads;
+    sweeps += o.sweeps;
+    return *this;
+  }
 };
 
+inline SchwarzStats operator+(SchwarzStats a, const SchwarzStats& b) noexcept {
+  a += b;
+  return a;
+}
+
 template <class S>
-class SchwarzPreconditioner final : public Preconditioner<float> {
+class SchwarzPreconditioner final : public BatchPreconditioner<float> {
  public:
   /// `op` must have prepare_schur() already called (the odd-site clover
   /// inverses are copied into the packed domain storage). The partition
@@ -162,6 +187,7 @@ class SchwarzPreconditioner final : public Preconditioner<float> {
       sc.t1_o = FermionField<float>(hv);
       sc.t2_o = FermionField<float>(hv);
     }
+    r_batch_.resize(1);  // residual(0) is addressable even before apply()
   }
 
   const SchwarzStats& stats() const noexcept { return stats_; }
@@ -182,26 +208,71 @@ class SchwarzPreconditioner final : public Preconditioner<float> {
 
   /// u = M f: ISchwarz Schwarz sweeps starting from u = 0.
   void apply(const FermionField<float>& f, FermionField<float>& u) override {
+    const FermionField<float>* fp[1] = {&f};
+    FermionField<float>* up[1] = {&u};
+    apply_impl(1, fp, up);
+  }
+
+  /// Batched u[b] = M f[b] over nrhs right-hand sides (paper Sec. VI).
+  /// The sweep loop runs domains on the OUTSIDE and RHS on the INSIDE, so
+  /// each domain's packed gauge+clover matrices are streamed once per
+  /// sweep regardless of nrhs — matrix_block_loads counts exactly that.
+  /// With nrhs = 1 this executes the identical operation sequence as
+  /// apply() (bit-identical results).
+  void apply_batch(const std::vector<const FermionField<float>*>& f,
+                   const std::vector<FermionField<float>*>& u) override {
+    LQCD_CHECK_MSG(!f.empty() && f.size() == u.size(),
+                   "apply_batch needs matching, non-empty f/u batches");
+    apply_impl(static_cast<int>(f.size()), f.data(), u.data());
+  }
+
+  /// The residual field of RHS b maintained during the last apply() /
+  /// apply_batch() — exposed for verification (r == f - A u holds exactly
+  /// for S = float).
+  const FermionField<float>& residual(int b = 0) const noexcept {
+    return r_batch_[static_cast<std::size_t>(b)];
+  }
+
+ private:
+  struct Scratch {
+    FermionField<float> r_loc, z, rhs_e, mr_r, mr_ar, t1_o, t2_o;
+    SchwarzStats stats;  // merged into stats_ at the end of apply()
+  };
+
+  void apply_impl(int nrhs, const FermionField<float>* const* f,
+                  FermionField<float>* const* u) {
     const auto volume = part_->geometry().volume();
-    LQCD_CHECK(f.size() == volume && u.size() == volume);
-    u.zero();
-    if (r_.size() != volume) r_ = FermionField<float>(volume);
-    copy(f, r_);
-    ++stats_.applications;
-    if (params_.fault_injector != nullptr &&
-        params_.fault_injector->maybe_corrupt(r_))
-      ++stats_.injected_faults;
+    const int nd = part_->num_domains();
+    if (static_cast<int>(r_batch_.size()) < nrhs)
+      r_batch_.resize(static_cast<std::size_t>(nrhs));
+    const std::size_t need_buf = static_cast<std::size_t>(nrhs) *
+                                 static_cast<std::size_t>(nd) *
+                                 static_cast<std::size_t>(buffer_stride_);
+    if (buffers_.size() < need_buf) buffers_.resize(need_buf);
+
+    for (int b = 0; b < nrhs; ++b) {
+      LQCD_CHECK(f[b]->size() == volume && u[b]->size() == volume);
+      u[b]->zero();
+      auto& r = r_batch_[static_cast<std::size_t>(b)];
+      if (r.size() != volume) r = FermionField<float>(volume);
+      copy(*f[b], r);
+      ++stats_.applications;
+      if (params_.fault_injector != nullptr &&
+          params_.fault_injector->maybe_corrupt(r))
+        ++stats_.injected_faults;
+    }
 
     for (int s = 0; s < params_.schwarz_iterations; ++s) {
+      ++stats_.sweeps;
       if (params_.additive) {
-        sweep_all_domains(u);
-        apply_all_halo_updates();
+        sweep_all_domains(nrhs, u);
+        apply_all_halo_updates(nrhs);
       } else {
         // Multiplicative: black phase, exchange, white phase, exchange.
-        sweep_color(0, u);
-        apply_halo_updates(0);
-        sweep_color(1, u);
-        apply_halo_updates(1);
+        sweep_color(0, nrhs, u);
+        apply_halo_updates(0, nrhs);
+        sweep_color(1, nrhs, u);
+        apply_halo_updates(1, nrhs);
       }
       (void)s;
     }
@@ -211,19 +282,16 @@ class SchwarzPreconditioner final : public Preconditioner<float> {
       stats_.mr_iterations += sc.stats.mr_iterations;
       stats_.flops += sc.stats.flops;
       stats_.boundary_bytes += sc.stats.boundary_bytes;
+      stats_.matrix_block_loads += sc.stats.matrix_block_loads;
       sc.stats.reset();
     }
   }
 
-  /// The residual field maintained during the last apply() — exposed for
-  /// verification (r == f - A u holds exactly for S = float).
-  const FermionField<float>& residual() const noexcept { return r_; }
-
- private:
-  struct Scratch {
-    FermionField<float> r_loc, z, rhs_e, mr_r, mr_ar, t1_o, t2_o;
-    SchwarzStats stats;  // merged into stats_ at the end of apply()
-  };
+  /// Face-buffer slot of (RHS b, domain d): RHS-major so the nrhs = 1
+  /// layout coincides with the historical one-buffer-per-domain layout.
+  std::int64_t buffer_slot(int b, int d) const noexcept {
+    return static_cast<std::int64_t>(b) * part_->num_domains() + d;
+  }
 
   S* link_ptr(int d, std::int32_t l, int mu) noexcept {
     return links_.data() +
@@ -255,8 +323,8 @@ class SchwarzPreconditioner final : public Preconditioner<float> {
             static_cast<std::size_t>(chi)) *
                kCloverBlockReals;
   }
-  float* buffer_ptr(int d, int mu, Dir dir) noexcept {
-    return buffers_.data() + static_cast<std::size_t>(d) *
+  float* buffer_ptr(std::int64_t slot, int mu, Dir dir) noexcept {
+    return buffers_.data() + static_cast<std::size_t>(slot) *
                                  static_cast<std::size_t>(buffer_stride_) +
            static_cast<std::size_t>(
                face_offset_[static_cast<std::size_t>(mu) * 2 +
@@ -355,16 +423,18 @@ class SchwarzPreconditioner final : public Preconditioner<float> {
                                       half_round_trip(s.s[sp].c[c].imag()));
   }
 
-  /// Solve one domain from the current residual, update u and r, pack the
-  /// boundary buffers of the correction. Writes stats into sc.stats (so
-  /// concurrent domain solves never share a counter).
-  void solve_domain(int d, FermionField<float>& u, Scratch& sc) {
+  /// Solve one domain from the current residual of one RHS, update u and
+  /// r, pack the boundary buffers of the correction into `slot`. Writes
+  /// stats into sc.stats (so concurrent domain solves never share a
+  /// counter).
+  void solve_domain(int d, FermionField<float>& u, FermionField<float>& r,
+                    std::int64_t slot, Scratch& sc) {
     const std::int32_t vd = part_->domain_volume();
     const std::int32_t hv = part_->domain_half_volume();
 
     // Gather the residual (optionally through fp16 spinor storage).
     for (std::int32_t l = 0; l < vd; ++l) {
-      sc.r_loc[l] = r_[part_->global_site(d, l)];
+      sc.r_loc[l] = r[part_->global_site(d, l)];
       if (params_.half_precision_spinors) round_spinor_fp16(sc.r_loc[l]);
     }
 
@@ -437,13 +507,13 @@ class SchwarzPreconditioner final : public Preconditioner<float> {
       const std::int32_t g = part_->global_site(d, l);
       u[g] = u[g] + z[l];
       if (l < hv) {
-        r_[g] = sc.mr_r[l];
+        r[g] = sc.mr_r[l];
       } else {
-        r_[g].zero();
+        r[g].zero();
       }
     }
 
-    pack_boundaries(d, z, sc.stats);
+    pack_boundaries(d, slot, z, sc.stats);
     ++sc.stats.block_solves;
   }
 
@@ -456,13 +526,13 @@ class SchwarzPreconditioner final : public Preconditioner<float> {
   /// buffers (paper Fig. 3). Forward faces are link-multiplied by the
   /// producer (it owns U_mu(x)); backward faces are packed raw and
   /// link-multiplied by the consumer.
-  void pack_boundaries(int d, const FermionField<float>& z,
+  void pack_boundaries(int d, std::int64_t slot, const FermionField<float>& z,
                        SchwarzStats& stats) {
     for (int mu = 0; mu < kNumDims; ++mu) {
       const auto mu_s = static_cast<std::size_t>(mu);
       {
         const auto& face = part_->face_sites(mu, Dir::kForward);
-        float* buf = buffer_ptr(d, mu, Dir::kForward);
+        float* buf = buffer_ptr(slot, mu, Dir::kForward);
         for (std::size_t i = 0; i < face.size(); ++i) {
           const std::int32_t l = face[i];
           const HalfSpinor<float> h =
@@ -475,7 +545,7 @@ class SchwarzPreconditioner final : public Preconditioner<float> {
       }
       {
         const auto& face = part_->face_sites(mu, Dir::kBackward);
-        float* buf = buffer_ptr(d, mu, Dir::kBackward);
+        float* buf = buffer_ptr(slot, mu, Dir::kBackward);
         for (std::size_t i = 0; i < face.size(); ++i) {
           const std::int32_t l = face[i];
           write_halfspinor(project(z[l], mu, -1), buf + i * 12);
@@ -513,13 +583,13 @@ class SchwarzPreconditioner final : public Preconditioner<float> {
   /// Consume the face buffers of the domains in `producers`: add the R
   /// coupling of their corrections to the residual of the neighboring
   /// domains.
-  void consume_buffers_of(int d) {
+  void consume_buffers_of(int d, std::int64_t slot, FermionField<float>& r) {
     for (int mu = 0; mu < kNumDims; ++mu) {
       const auto mu_s = static_cast<std::size_t>(mu);
       // Producer's forward face -> consumer's backward boundary sites.
       {
         const int nd = part_->neighbor_domain(d, mu, Dir::kForward);
-        const float* buf = buffer_ptr(d, mu, Dir::kForward);
+        const float* buf = buffer_ptr(slot, mu, Dir::kForward);
         const auto& partners = partner_fwd_[mu_s];
         for (std::size_t i = 0; i < partners.size(); ++i) {
           const HalfSpinor<float> h = read_halfspinor(buf + i * 12);
@@ -529,14 +599,14 @@ class SchwarzPreconditioner final : public Preconditioner<float> {
           reconstruct_add(add, h, mu, +1);
           for (int sp = 0; sp < kNumSpins; ++sp)
             for (int c = 0; c < kNumColors; ++c)
-              r_[g].s[sp].c[c] += 0.5f * add.s[sp].c[c];
+              r[g].s[sp].c[c] += 0.5f * add.s[sp].c[c];
         }
         stats_.flops += static_cast<std::int64_t>(partners.size()) * (24 + 24);
       }
       // Producer's backward face -> consumer's forward boundary sites.
       {
         const int nd = part_->neighbor_domain(d, mu, Dir::kBackward);
-        const float* buf = buffer_ptr(d, mu, Dir::kBackward);
+        const float* buf = buffer_ptr(slot, mu, Dir::kBackward);
         const auto& partners = partner_bwd_[mu_s];
         for (std::size_t i = 0; i < partners.size(); ++i) {
           const HalfSpinor<float> raw = read_halfspinor(buf + i * 12);
@@ -549,7 +619,7 @@ class SchwarzPreconditioner final : public Preconditioner<float> {
           reconstruct_add(add, h, mu, -1);
           for (int sp = 0; sp < kNumSpins; ++sp)
             for (int c = 0; c < kNumColors; ++c)
-              r_[g].s[sp].c[c] += 0.5f * add.s[sp].c[c];
+              r[g].s[sp].c[c] += 0.5f * add.s[sp].c[c];
         }
         stats_.flops +=
             static_cast<std::int64_t>(partners.size()) * (132 + 24 + 24);
@@ -557,7 +627,17 @@ class SchwarzPreconditioner final : public Preconditioner<float> {
     }
   }
 
-  void sweep_color(int color, FermionField<float>& u) {
+  /// One domain visit: stream the packed matrices once, apply them to
+  /// every RHS of the batch.
+  void solve_domain_batch(int d, int nrhs, FermionField<float>* const* u,
+                          Scratch& sc) {
+    ++sc.stats.matrix_block_loads;
+    for (int b = 0; b < nrhs; ++b)
+      solve_domain(d, *u[b], r_batch_[static_cast<std::size_t>(b)],
+                   buffer_slot(b, d), sc);
+  }
+
+  void sweep_color(int color, int nrhs, FermionField<float>* const* u) {
     const auto& list = part_->domains_of_color(color);
     const auto n = static_cast<std::int64_t>(list.size());
 #pragma omp parallel for schedule(static)
@@ -566,12 +646,12 @@ class SchwarzPreconditioner final : public Preconditioner<float> {
 #if defined(LQCD_HAVE_OPENMP)
       tid = omp_get_thread_num();
 #endif
-      solve_domain(list[static_cast<std::size_t>(i)], u,
-                   scratch_[static_cast<std::size_t>(tid)]);
+      solve_domain_batch(list[static_cast<std::size_t>(i)], nrhs, u,
+                         scratch_[static_cast<std::size_t>(tid)]);
     }
   }
 
-  void sweep_all_domains(FermionField<float>& u) {
+  void sweep_all_domains(int nrhs, FermionField<float>* const* u) {
     const std::int64_t n = part_->num_domains();
 #pragma omp parallel for schedule(static)
     for (std::int64_t i = 0; i < n; ++i) {
@@ -579,17 +659,23 @@ class SchwarzPreconditioner final : public Preconditioner<float> {
 #if defined(LQCD_HAVE_OPENMP)
       tid = omp_get_thread_num();
 #endif
-      solve_domain(static_cast<int>(i), u,
-                   scratch_[static_cast<std::size_t>(tid)]);
+      solve_domain_batch(static_cast<int>(i), nrhs, u,
+                         scratch_[static_cast<std::size_t>(tid)]);
     }
   }
 
-  void apply_halo_updates(int color) {
-    for (const int d : part_->domains_of_color(color)) consume_buffers_of(d);
+  void apply_halo_updates(int color, int nrhs) {
+    for (const int d : part_->domains_of_color(color))
+      for (int b = 0; b < nrhs; ++b)
+        consume_buffers_of(d, buffer_slot(b, d),
+                           r_batch_[static_cast<std::size_t>(b)]);
   }
 
-  void apply_all_halo_updates() {
-    for (int d = 0; d < part_->num_domains(); ++d) consume_buffers_of(d);
+  void apply_all_halo_updates(int nrhs) {
+    for (int d = 0; d < part_->num_domains(); ++d)
+      for (int b = 0; b < nrhs; ++b)
+        consume_buffers_of(d, buffer_slot(b, d),
+                           r_batch_[static_cast<std::size_t>(b)]);
   }
 
   const DomainPartition* part_;
@@ -607,7 +693,9 @@ class SchwarzPreconditioner final : public Preconditioner<float> {
   std::vector<std::int32_t> partner_bwd_[kNumDims];
   std::int64_t hops_per_parity_ = 0;
 
-  FermionField<float> r_;
+  /// Residual fields, one per RHS of the widest batch seen so far.
+  /// r_batch_[0] doubles as the single-RHS residual.
+  std::vector<FermionField<float>> r_batch_;
   std::vector<Scratch> scratch_;
 };
 

@@ -41,6 +41,19 @@ class Preconditioner {
   virtual void apply(const FermionField<T>& in, FermionField<T>& out) = 0;
 };
 
+/// Preconditioner that can apply itself to a whole batch of vectors in
+/// one call (multi-RHS, paper Sec. VI). The base implementation falls
+/// back to one apply() per RHS; implementations override apply_batch()
+/// to amortize matrix streaming over the batch.
+template <class T>
+class BatchPreconditioner : public Preconditioner<T> {
+ public:
+  virtual void apply_batch(const std::vector<const FermionField<T>*>& in,
+                           const std::vector<FermionField<T>*>& out) {
+    for (std::size_t i = 0; i < in.size(); ++i) this->apply(*in[i], *out[i]);
+  }
+};
+
 template <class T>
 class IdentityPreconditioner final : public Preconditioner<T> {
  public:
@@ -84,6 +97,8 @@ struct SolverStats {
   int stagnation_restarts = 0;  ///< forced plain restarts (residual replaced)
   int rollback_restarts = 0;    ///< monitor-driven checkpoint rollbacks
   std::int64_t nonfinite_events = 0;  ///< NaN/Inf detections survived
+  int recycle_projections = 0;  ///< initial residual projected onto a
+                                ///< recycled deflation subspace (multi-RHS)
 };
 
 /// Cycle-granularity observer for restarted outer solvers. on_cycle() is

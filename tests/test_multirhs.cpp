@@ -1,0 +1,395 @@
+// Multi-RHS batched solves (paper Sec. VI): batched Schwarz sweeps,
+// deflation-subspace recycling across right-hand sides, the work-model
+// nrhs extension, and the solver-config/stats wiring fixes that ride
+// along (stagnation parameters, merged fallback stats).
+#include <gtest/gtest.h>
+
+#include "lqcd/core/dd_solver.h"
+#include "lqcd/knc/work_model.h"
+
+namespace lqcd {
+namespace {
+
+struct Problem {
+  Geometry geom;
+  GaugeField<double> gauge;
+  FermionField<double> b;
+
+  Problem(const Coord& dims, double disorder, std::uint64_t seed)
+      : geom(dims),
+        gauge([&] {
+          auto g = random_gauge_field<double>(geom, disorder, seed);
+          g.make_time_antiperiodic();
+          return g;
+        }()),
+        b(geom.volume()) {
+    gaussian(b, seed + 1);
+  }
+};
+
+double true_relative_residual(const WilsonCloverOperator<double>& op,
+                              const FermionField<double>& b,
+                              const FermionField<double>& x) {
+  FermionField<double> r(b.size());
+  op.apply(x, r);
+  sub(b, r, r);
+  return norm(r) / norm(b);
+}
+
+double field_diff_norm(const FermionField<double>& a,
+                       const FermionField<double>& b) {
+  FermionField<double> d(a.size());
+  sub(a, b, d);
+  return norm(d);
+}
+
+/// Config that forces multiple FGMRES-DR cycles (small basis, weak
+/// preconditioner), so deflated restarts — and hence a harvestable
+/// recycling subspace — actually occur. A single strong-preconditioner
+/// cycle would converge before ever deflating, leaving nothing to
+/// recycle and no cycle boundary for the stagnation logic to inspect.
+DDSolverConfig batch_config() {
+  DDSolverConfig cfg;
+  cfg.block = {4, 4, 4, 4};
+  cfg.basis_size = 6;
+  cfg.deflation_size = 3;
+  cfg.schwarz_iterations = 1;
+  cfg.block_mr_iterations = 2;
+  cfg.tolerance = 1e-10;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: solve_batch consistency with solve.
+// ---------------------------------------------------------------------------
+
+TEST(MultiRhs, BatchOfOneIsBitIdenticalToSolve) {
+  // Solves are deterministic within a process, so a batch of one must
+  // reproduce solve() exactly: same trajectory, same counters, same bits.
+  Problem prob({8, 8, 8, 8}, 0.7, 311);
+  DDSolverConfig cfg = batch_config();
+  DDSolver solver(prob.geom, prob.gauge, 0.1, 1.0, cfg);
+
+  FermionField<double> x1(prob.geom.volume());
+  const auto s1 = solver.solve(prob.b, x1);
+
+  std::vector<FermionField<double>> b{prob.b},
+      x{FermionField<double>(prob.geom.volume())};
+  const auto sb = solver.solve_batch(b, x);
+  ASSERT_EQ(sb.size(), 1u);
+  const auto& s2 = sb[0];
+
+  EXPECT_TRUE(s1.converged);
+  EXPECT_TRUE(s2.converged);
+  EXPECT_EQ(s1.iterations, s2.iterations);
+  EXPECT_EQ(s1.matvecs, s2.matvecs);
+  EXPECT_EQ(s1.precond_applications, s2.precond_applications);
+  EXPECT_EQ(s1.global_sum_events, s2.global_sum_events);
+  EXPECT_EQ(s1.residual_history, s2.residual_history);
+  EXPECT_EQ(s1.final_relative_residual, s2.final_relative_residual);
+  EXPECT_EQ(s2.recycle_projections, 0);  // nothing to recycle from
+  EXPECT_EQ(field_diff_norm(x1, x[0]), 0.0);
+}
+
+TEST(MultiRhs, BatchConvergesEveryRhsWithNoMoreTotalIterations) {
+  // The propagator workload: 12 spin-color point sources. Every RHS must
+  // reach the tolerance, and the recycled deflation subspace must make
+  // the batched total outer iteration count no worse than 12 sequential
+  // solves.
+  Problem prob({8, 8, 8, 8}, 0.7, 321);
+  DDSolverConfig cfg = batch_config();
+  DDSolver solver(prob.geom, prob.gauge, 0.05, 1.0, cfg);
+
+  const int nrhs = kNumSpins * kNumColors;
+  const std::int32_t origin = prob.geom.index({0, 0, 0, 0});
+  std::vector<FermionField<double>> b(static_cast<std::size_t>(nrhs)),
+      x(static_cast<std::size_t>(nrhs));
+  for (int i = 0; i < nrhs; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    b[ii] = FermionField<double>(prob.geom.volume());
+    x[ii] = FermionField<double>(prob.geom.volume());
+    b[ii][origin].s[i / kNumColors].c[i % kNumColors] =
+        Complex<double>(1, 0);
+  }
+
+  std::int64_t seq_iters = 0;
+  for (int i = 0; i < nrhs; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    const auto st = solver.solve(b[ii], x[ii]);
+    ASSERT_TRUE(st.converged) << "sequential RHS " << i;
+    seq_iters += st.iterations;
+  }
+
+  for (auto& xi : x) xi.zero();
+  const auto stats = solver.solve_batch(b, x);
+  std::int64_t bat_iters = 0;
+  int recycled = 0;
+  for (int i = 0; i < nrhs; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    EXPECT_TRUE(stats[ii].converged) << "batched RHS " << i;
+    EXPECT_LT(true_relative_residual(solver.op(), b[ii], x[ii]), 2e-10)
+        << "batched RHS " << i;
+    bat_iters += stats[ii].iterations;
+    recycled += stats[ii].recycle_projections;
+  }
+  EXPECT_LE(bat_iters, seq_iters)
+      << "batched=" << bat_iters << " sequential=" << seq_iters;
+  // RHS 0 seeds the subspace; the later RHS must actually use it.
+  EXPECT_GE(recycled, 1);
+  EXPECT_EQ(stats[0].recycle_projections, 0);
+}
+
+TEST(MultiRhs, StatsAccumulateAcrossSolveAndSolveBatchCalls) {
+  // Every outer preconditioner application — from solve() or from any
+  // lane of solve_batch() — is exactly one Schwarz application, and the
+  // counters accumulate across calls until reset_stats().
+  Problem prob({8, 8, 8, 8}, 0.7, 331);
+  DDSolverConfig cfg = batch_config();
+  DDSolver solver(prob.geom, prob.gauge, 0.1, 1.0, cfg);
+
+  FermionField<double> x(prob.geom.volume());
+  const auto s1 = solver.solve(prob.b, x);
+  const std::int64_t after_solve = solver.schwarz_stats().applications;
+  EXPECT_EQ(after_solve, s1.precond_applications);
+
+  std::vector<FermionField<double>> bb(3), xx(3);
+  for (int i = 0; i < 3; ++i) {
+    bb[static_cast<std::size_t>(i)] = FermionField<double>(prob.geom.volume());
+    xx[static_cast<std::size_t>(i)] = FermionField<double>(prob.geom.volume());
+    gaussian(bb[static_cast<std::size_t>(i)],
+             static_cast<std::uint64_t>(400 + i));
+  }
+  const auto sb = solver.solve_batch(bb, xx);
+  std::int64_t batch_applications = 0;
+  for (const auto& st : sb) batch_applications += st.precond_applications;
+  EXPECT_EQ(solver.schwarz_stats().applications,
+            after_solve + batch_applications);
+  EXPECT_GT(solver.schwarz_stats().matrix_block_loads, 0);
+
+  solver.reset_stats();
+  EXPECT_EQ(solver.schwarz_stats().applications, 0);
+  EXPECT_EQ(solver.schwarz_stats().matrix_block_loads, 0);
+  EXPECT_EQ(solver.schwarz_stats().sweeps, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Batched Schwarz preconditioner: matrix-load amortization + independence.
+// ---------------------------------------------------------------------------
+
+struct SchwarzFixture {
+  Geometry geom;
+  Checkerboard cb;
+  GaugeField<float> gauge;
+  WilsonCloverOperator<float> op;
+  DomainPartition part;
+
+  SchwarzFixture()
+      : geom({8, 8, 8, 8}),
+        cb(geom),
+        gauge([&] {
+          auto gd = random_gauge_field<double>(geom, 0.5, 17);
+          gd.make_time_antiperiodic();
+          return convert<float>(gd);
+        }()),
+        op(geom, cb, gauge, 0.1f, 1.0f),
+        part(geom, {4, 4, 4, 4}) {
+    op.prepare_schur();
+  }
+};
+
+TEST(SchwarzBatch, MatrixLoadsPerSweepIndependentOfNrhs) {
+  SchwarzFixture f;
+  SchwarzParams p;
+  p.schwarz_iterations = 3;
+  p.block_mr_iterations = 4;
+  SchwarzPreconditioner<float> m(f.part, f.op, p);
+
+  const auto run = [&](int nrhs) {
+    std::vector<FermionField<float>> ff(static_cast<std::size_t>(nrhs)),
+        uu(static_cast<std::size_t>(nrhs));
+    std::vector<const FermionField<float>*> fp;
+    std::vector<FermionField<float>*> up;
+    for (int i = 0; i < nrhs; ++i) {
+      ff[static_cast<std::size_t>(i)] = FermionField<float>(f.geom.volume());
+      uu[static_cast<std::size_t>(i)] = FermionField<float>(f.geom.volume());
+      gaussian(ff[static_cast<std::size_t>(i)],
+               static_cast<std::uint64_t>(50 + i));
+      fp.push_back(&ff[static_cast<std::size_t>(i)]);
+      up.push_back(&uu[static_cast<std::size_t>(i)]);
+    }
+    m.reset_stats();
+    m.apply_batch(fp, up);
+    return m.stats();
+  };
+
+  const auto s1 = run(1);
+  const auto s12 = run(12);
+
+  // One sweep visits each of the 16 domains once; a visit streams the
+  // packed matrices once for the whole batch.
+  EXPECT_EQ(s1.sweeps, 3);
+  EXPECT_EQ(s12.sweeps, 3);
+  EXPECT_EQ(s1.matrix_block_loads, 3 * 16);
+  EXPECT_EQ(s12.matrix_block_loads, s1.matrix_block_loads);
+  // While everything per-RHS scales by 12.
+  EXPECT_EQ(s12.applications, 12 * s1.applications);
+  EXPECT_EQ(s12.block_solves, 12 * s1.block_solves);
+  EXPECT_EQ(s12.mr_iterations, 12 * s1.mr_iterations);
+  EXPECT_EQ(s12.boundary_bytes, 12 * s1.boundary_bytes);
+}
+
+TEST(SchwarzBatch, BatchedRhsAreIndependentAndMatchSequentialApplies) {
+  // Each RHS of a batch must get exactly the result it would get alone:
+  // the per-(RHS, domain) face-buffer slots and residual fields must not
+  // leak across the batch.
+  SchwarzFixture f;
+  SchwarzParams p;
+  p.schwarz_iterations = 2;
+  p.block_mr_iterations = 3;
+  SchwarzPreconditioner<float> m(f.part, f.op, p);
+
+  const int nrhs = 3;
+  std::vector<FermionField<float>> ff(nrhs), u_seq(nrhs), u_bat(nrhs);
+  for (int i = 0; i < nrhs; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    ff[ii] = FermionField<float>(f.geom.volume());
+    u_seq[ii] = FermionField<float>(f.geom.volume());
+    u_bat[ii] = FermionField<float>(f.geom.volume());
+    gaussian(ff[ii], static_cast<std::uint64_t>(70 + i));
+  }
+  for (int i = 0; i < nrhs; ++i)
+    m.apply(ff[static_cast<std::size_t>(i)],
+            u_seq[static_cast<std::size_t>(i)]);
+
+  std::vector<const FermionField<float>*> fp;
+  std::vector<FermionField<float>*> up;
+  for (int i = 0; i < nrhs; ++i) {
+    fp.push_back(&ff[static_cast<std::size_t>(i)]);
+    up.push_back(&u_bat[static_cast<std::size_t>(i)]);
+  }
+  m.apply_batch(fp, up);
+
+  for (int i = 0; i < nrhs; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    double diff2 = 0;
+    for (std::int64_t s = 0; s < f.geom.volume(); ++s)
+      diff2 += norm2(u_seq[ii][s] - u_bat[ii][s]);
+    EXPECT_EQ(diff2, 0.0) << "RHS " << i;
+    // The maintained residual of lane i must equal f_i - A u_i.
+    FermionField<float> au(f.geom.volume());
+    f.op.apply(u_bat[ii], au);
+    sub(ff[ii], au, au);
+    double rdiff2 = 0;
+    for (std::int64_t s = 0; s < f.geom.volume(); ++s)
+      rdiff2 += norm2(au[s] - m.residual(i)[s]);
+    EXPECT_LT(std::sqrt(rdiff2), 1e-6 * norm(ff[ii])) << "RHS " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: stagnation parameters must reach the outer solver.
+// ---------------------------------------------------------------------------
+
+TEST(DDSolverConfig, StagnationParametersReachOuterSolver) {
+  // A pathological threshold makes EVERY cycle count as stagnant, so the
+  // wired-through config must produce forced plain restarts. Before the
+  // fix, DDSolver::solve() dropped both fields and this stayed at 0.
+  Problem prob({8, 8, 8, 8}, 0.7, 341);
+  DDSolverConfig cfg = batch_config();
+  cfg.max_iterations = 4000;
+
+  DDSolver defaults(prob.geom, prob.gauge, 0.1, 1.0, cfg);
+  FermionField<double> x1(prob.geom.volume());
+  const auto s_def = defaults.solve(prob.b, x1);
+  EXPECT_TRUE(s_def.converged);
+  EXPECT_EQ(s_def.stagnation_restarts, 0);
+
+  cfg.stagnation_threshold = 0.0;  // any nonzero residual is "stagnant"
+  cfg.max_stagnant_cycles = 1;
+  DDSolver aggressive(prob.geom, prob.gauge, 0.1, 1.0, cfg);
+  FermionField<double> x2(prob.geom.volume());
+  const auto s_agg = aggressive.solve(prob.b, x2);
+  EXPECT_GT(s_agg.stagnation_restarts, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: merged Schwarz stats must include fallback sweeps.
+// ---------------------------------------------------------------------------
+
+TEST(DDSolverStats, MergedStatsIncludeSinglePrecisionFallbackSweeps) {
+  // Inject fp16-overflow faults so the resilient adapter retries on the
+  // single-precision fallback preconditioner. Every retry is a Schwarz
+  // application on the FALLBACK object; before the fix schwarz_stats()
+  // reported only the half-precision primary and those sweeps vanished.
+  Problem prob({8, 8, 8, 8}, 0.7, 221);
+  DDSolverConfig cfg;
+  cfg.block = {4, 4, 4, 4};
+  cfg.basis_size = 6;
+  cfg.deflation_size = 2;
+  cfg.schwarz_iterations = 1;
+  cfg.block_mr_iterations = 2;
+  cfg.tolerance = 1e-10;
+  cfg.half_precision_matrices = true;
+  cfg.max_iterations = 4000;
+
+  FaultInjectorConfig fic;
+  fic.fault = FaultClass::kFp16Overflow;
+  fic.seed = 29;
+  fic.first_opportunity = 2;
+  fic.max_events = 2;
+  FaultInjector injector(fic);
+
+  cfg.resilience.enabled = true;
+  cfg.resilience.schwarz_injector = &injector;
+  DDSolver solver(prob.geom, prob.gauge, 0.1, 1.0, cfg);
+  FermionField<double> x(prob.geom.volume());
+  const auto stats = solver.solve(prob.b, x);
+
+  EXPECT_TRUE(stats.converged);
+  const SchwarzStats merged = solver.schwarz_stats();
+  EXPECT_GE(merged.precision_fallbacks, 1);
+  // One application per outer preconditioner call on the primary, plus
+  // one per fallback retry — the merged view must account for both.
+  EXPECT_EQ(merged.applications,
+            stats.precond_applications + merged.precision_fallbacks);
+}
+
+// ---------------------------------------------------------------------------
+// Work model: nrhs scales spinor terms, never matrix bytes.
+// ---------------------------------------------------------------------------
+
+TEST(WorkModel, NrhsDefaultMatchesSingleRhsDescriptor) {
+  const Coord block = {8, 4, 4, 4};
+  const auto w1 = knc::block_solve_work(block, 5, true);
+  const auto w2 = knc::block_solve_work(block, 5, true, 1);
+  EXPECT_EQ(w1.flops, w2.flops);
+  EXPECT_EQ(w1.matrix_bytes, w2.matrix_bytes);
+  EXPECT_EQ(w1.l2_bytes_per_schur, w2.l2_bytes_per_schur);
+  EXPECT_EQ(w1.pack_bytes, w2.pack_bytes);
+  EXPECT_EQ(w1.working_set_bytes, w2.working_set_bytes);
+  EXPECT_EQ(w1.kernel.mem_bytes, w2.kernel.mem_bytes);
+  EXPECT_EQ(w1.kernel.l2_bytes, w2.kernel.l2_bytes);
+}
+
+TEST(WorkModel, MatrixBytesChargedOncePerBatchedVisit) {
+  const Coord block = {8, 4, 4, 4};
+  const auto w1 = knc::block_solve_work(block, 5, true, 1);
+  const auto w12 = knc::block_solve_work(block, 5, true, 12);
+
+  EXPECT_EQ(w12.matrix_bytes, w1.matrix_bytes);
+  EXPECT_EQ(w12.flops, 12.0 * w1.flops);
+  EXPECT_EQ(w12.pack_bytes, 12.0 * w1.pack_bytes);
+  // Memory traffic: matrices once + 12x the per-RHS spinor streams.
+  EXPECT_EQ(w12.kernel.mem_bytes,
+            w1.matrix_bytes + 12.0 * (w1.kernel.mem_bytes - w1.matrix_bytes));
+
+  // Batching must multiply the arithmetic intensity, but by less than
+  // nrhs (the spinor traffic still scales).
+  const double ai1 = knc::arithmetic_intensity(w1.kernel);
+  const double ai12 = knc::arithmetic_intensity(w12.kernel);
+  EXPECT_GT(ai12, 1.5 * ai1);
+  EXPECT_LT(ai12, 12.0 * ai1);
+}
+
+}  // namespace
+}  // namespace lqcd
