@@ -13,6 +13,7 @@
 //      configuration: straggler node, lossy fabric, node failures with
 //      and without checkpointing.
 #include <cstdio>
+#include <cstring>
 
 #include "bench_common.h"
 #include "lqcd/base/timer.h"
@@ -85,17 +86,20 @@ SolveRun run_solve(const Problem& prob, double mass,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   bench::print_header(
       "Resilient-solve layer: guard overhead and recovery cost",
       "robustness extension (not in the paper); fault model motivated by "
       "the paper's\n1024-KNC production scale",
-      "lattice 8^4, disorder 0.7, mass 0.1, csw = 1.0; faults injected\n"
-      "deterministically (seeded)");
+      smoke ? "(--smoke: single repeat per scenario)"
+            : "lattice 8^4, disorder 0.7, mass 0.1, csw = 1.0; faults "
+              "injected\ndeterministically (seeded)");
 
   Problem prob({8, 8, 8, 8}, 0.7, 4242);
   const double mass = 0.1;
-  const int repeats = 5;  // min-of-N to suppress scheduler noise
+  // min-of-N to suppress scheduler noise; 1 in CI smoke mode.
+  const int repeats = smoke ? 1 : 5;
 
   // ---- (1) fault-free overhead ------------------------------------------
   {

@@ -61,3 +61,13 @@ template <class T>
 using AlignedVector = std::vector<T, AlignedAllocator<T>>;
 
 }  // namespace lqcd
+
+/// Portable "vectorize this loop" hint for the unit-stride lane kernels.
+/// Expands to `#pragma omp simd` when OpenMP is enabled; otherwise to
+/// nothing (plain `#pragma omp` would trip -Wunknown-pragmas under
+/// -Werror on non-OpenMP builds).
+#if defined(LQCD_HAVE_OPENMP)
+#define LQCD_PRAGMA_SIMD _Pragma("omp simd")
+#else
+#define LQCD_PRAGMA_SIMD
+#endif

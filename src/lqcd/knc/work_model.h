@@ -22,6 +22,10 @@ struct BlockSolveWork {
   double matrix_bytes = 0;        ///< links+clover storage (precision-dep.)
   double pack_bytes = 0;          ///< boundary buffer bytes produced
   double working_set_bytes = 0;   ///< matrices + the 7 resident spinors
+  /// Fraction of the RHS-lane vector slots doing useful work (1.0 for the
+  /// scalar single-RHS path; nrhs / padded-lane-count for the
+  /// SOA-over-RHS lane-vectorized path). See rhs_lane_efficiency().
+  double rhs_lane_efficiency = 1.0;
   KernelWork kernel;              ///< aggregated descriptor for the model
 };
 
@@ -55,11 +59,37 @@ inline double block_schur_flops(const Coord& block) noexcept {
   return 168.0 * 2.0 * hops + vd * 504.0 / 2.0 * 2.0 + (vd / 2.0) * 24.0;
 }
 
+/// SIMD width (in RHS lanes) of the lane-vectorized block solve — mirrors
+/// kRhsSimdWidth of schwarz/storage.h.
+inline constexpr int kRhsLaneWidth = 4;
+
+/// Fraction of RHS-lane vector slots doing useful work when nrhs
+/// right-hand sides are padded up to a multiple of `width` lanes:
+/// nrhs / padded(nrhs). nrhs <= 1 is the scalar path (no padding, 1.0).
+inline double rhs_lane_efficiency(int nrhs,
+                                  int width = kRhsLaneWidth) noexcept {
+  if (nrhs <= 1) return 1.0;
+  const int padded = (nrhs + width - 1) / width * width;
+  return static_cast<double>(nrhs) / static_cast<double>(padded);
+}
+
+/// Scale a kernel descriptor for RHS-lane padding waste: the vector units
+/// execute padded-lane flops to retire the useful ones, so the EXECUTED
+/// flop count (what occupies the FPU pipes) is useful / efficiency.
+/// Byte traffic is unchanged — padding lanes live in registers/L1.
+inline KernelWork apply_rhs_lane_padding(KernelWork w,
+                                         double efficiency) noexcept {
+  if (efficiency > 0.0 && efficiency < 1.0) w.flops /= efficiency;
+  return w;
+}
+
 /// `nrhs` models the multi-RHS batched domain visit (paper Sec. VI): the
 /// packed gauge+clover matrices are streamed ONCE per visit while every
 /// spinor quantity — flops, spinor traffic, packed buffers — scales with
 /// the number of right-hand sides. nrhs = 1 reproduces the historical
-/// single-RHS descriptor exactly.
+/// single-RHS descriptor exactly. The descriptor counts USEFUL flops;
+/// combine with rhs_lane_efficiency / apply_rhs_lane_padding to model the
+/// executed-flop cost of the lane-vectorized path's padding.
 inline BlockSolveWork block_solve_work(const Coord& block, int idomain,
                                        bool half_matrices,
                                        int nrhs = 1) noexcept {
@@ -101,6 +131,7 @@ inline BlockSolveWork block_solve_work(const Coord& block, int idomain,
   w.kernel.mem_bytes =
       w.matrix_bytes + nb * 3.0 * vd * spinor_site_bytes + w.pack_bytes;
   w.working_set_bytes = w.matrix_bytes + nb * 7.0 * hv * spinor_site_bytes;
+  w.rhs_lane_efficiency = rhs_lane_efficiency(nrhs);
   return w;
 }
 

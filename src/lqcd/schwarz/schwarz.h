@@ -28,6 +28,7 @@
 #include "lqcd/resilience/fault_injector.h"
 #include "lqcd/schwarz/storage.h"
 #include "lqcd/solver/linear_operator.h"
+#include "lqcd/solver/mr.h"
 
 #if defined(LQCD_HAVE_OPENMP)
 #include <omp.h>
@@ -52,6 +53,13 @@ struct SchwarzParams {
   /// apply() (per the injector's own schedule), modelling SDC or fp16
   /// range exhaustion inside the preconditioner. nullptr = fault-free.
   FaultInjector* fault_injector = nullptr;
+  /// Process batched domain visits with the SOA-over-RHS lane kernels
+  /// (paper Sec. VI): each packed matrix element is loaded once and
+  /// applied to every RHS of the batch from registers, with lane-wise MR
+  /// scalars and lane masking for converged RHS. When false — or for
+  /// nrhs == 1, which must stay bit-identical to apply() — each RHS runs
+  /// the scalar block solve in sequence.
+  bool lane_vectorized = true;
 };
 
 struct SchwarzStats {
@@ -237,12 +245,49 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
   struct Scratch {
     FermionField<float> r_loc, z, rhs_e, mr_r, mr_ar, t1_o, t2_o;
     SchwarzStats stats;  // merged into stats_ at the end of apply()
+
+    // Lane-vectorized (SOA-over-RHS) working set, allocated lazily on the
+    // first batched domain visit and reused until the batch width changes.
+    BlockSpinorLanes r_lanes, z_lanes;  // full-volume (vd sites)
+    BlockSpinorLanes rhs_e_lanes, mr_r_lanes, mr_ar_lanes, t1_lanes,
+        t2_lanes;                    // half-volume (hv sites)
+    AlignedVector<float> h1, h2;     // per-site half-spinor lane temps
+    AlignedVector<float> s24;        // per-site full-spinor lane temp
+    LaneMRState mr_state;
+    std::vector<std::int32_t> site_map;  // local -> global site of domain
+    int lanes_nrhs = 0;
+
+    void ensure_lanes(std::int32_t vd, std::int32_t hv, int nrhs) {
+      if (lanes_nrhs == nrhs) return;
+      r_lanes = BlockSpinorLanes(vd, nrhs);
+      z_lanes = BlockSpinorLanes(vd, nrhs);
+      rhs_e_lanes = BlockSpinorLanes(hv, nrhs);
+      mr_r_lanes = BlockSpinorLanes(hv, nrhs);
+      mr_ar_lanes = BlockSpinorLanes(hv, nrhs);
+      t1_lanes = BlockSpinorLanes(hv, nrhs);
+      t2_lanes = BlockSpinorLanes(hv, nrhs);
+      const auto L = static_cast<std::size_t>(padded_rhs_lanes(nrhs));
+      h1.resize(12 * L);
+      h2.resize(12 * L);
+      s24.resize(static_cast<std::size_t>(kSpinorReals) * L);
+      site_map.resize(static_cast<std::size_t>(vd));
+      lanes_nrhs = nrhs;
+    }
   };
 
   void apply_impl(int nrhs, const FermionField<float>* const* f,
                   FermionField<float>* const* u) {
     const auto volume = part_->geometry().volume();
     const int nd = part_->num_domains();
+    // Validate the WHOLE batch before touching any output: a RHS with a
+    // mismatched lattice geometry must not leave earlier RHS half-updated.
+    for (int b = 0; b < nrhs; ++b) {
+      LQCD_CHECK_MSG(f[b]->size() == volume && u[b]->size() == volume,
+                     "apply_batch: RHS " << b
+                         << " has a mismatched lattice geometry (f size "
+                         << f[b]->size() << ", u size " << u[b]->size()
+                         << ", preconditioner volume " << volume << ")");
+    }
     if (static_cast<int>(r_batch_.size()) < nrhs)
       r_batch_.resize(static_cast<std::size_t>(nrhs));
     const std::size_t need_buf = static_cast<std::size_t>(nrhs) *
@@ -251,7 +296,6 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
     if (buffers_.size() < need_buf) buffers_.resize(need_buf);
 
     for (int b = 0; b < nrhs; ++b) {
-      LQCD_CHECK(f[b]->size() == volume && u[b]->size() == volume);
       u[b]->zero();
       auto& r = r_batch_[static_cast<std::size_t>(b)];
       if (r.size() != volume) r = FermionField<float>(volume);
@@ -261,6 +305,10 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
           params_.fault_injector->maybe_corrupt(r))
         ++stats_.injected_faults;
     }
+    r_ptrs_.resize(static_cast<std::size_t>(nrhs));
+    for (int b = 0; b < nrhs; ++b)
+      r_ptrs_[static_cast<std::size_t>(b)] =
+          &r_batch_[static_cast<std::size_t>(b)];
 
     for (int s = 0; s < params_.schwarz_iterations; ++s) {
       ++stats_.sweeps;
@@ -628,13 +676,421 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
   }
 
   /// One domain visit: stream the packed matrices once, apply them to
-  /// every RHS of the batch.
+  /// every RHS of the batch. Batches of more than one RHS take the
+  /// lane-vectorized SOA-over-RHS path unless params.lane_vectorized is
+  /// off; nrhs == 1 always runs the scalar solve (bit-identical contract
+  /// with apply()).
   void solve_domain_batch(int d, int nrhs, FermionField<float>* const* u,
                           Scratch& sc) {
     ++sc.stats.matrix_block_loads;
-    for (int b = 0; b < nrhs; ++b)
-      solve_domain(d, *u[b], r_batch_[static_cast<std::size_t>(b)],
-                   buffer_slot(b, d), sc);
+    if (nrhs == 1 || !params_.lane_vectorized) {
+      for (int b = 0; b < nrhs; ++b)
+        solve_domain(d, *u[b], r_batch_[static_cast<std::size_t>(b)],
+                     buffer_slot(b, d), sc);
+      return;
+    }
+    solve_domain_lanes(d, nrhs, u, sc);
+  }
+
+  // -------------------------------------------------------------------------
+  // Lane-vectorized block solve (SOA-over-RHS, paper Sec. VI).
+  //
+  // Every kernel below walks the domain site by site, loads each packed
+  // matrix element (link or clover block) ONCE, and applies it to all RHS
+  // lanes with unit-stride inner loops over the lane index. The arithmetic
+  // per lane is operation-for-operation the scalar block solve, so the
+  // instrumented counters charge exactly nrhs times the scalar work (with
+  // MR iterations and axpy flops charged per still-active lane).
+  // -------------------------------------------------------------------------
+
+  /// out = a + s * phase*b, lane-wise, for one complex component pair.
+  /// In-place use (out == a) is fine: each lane reads before it writes.
+  static void lane_phase_madd(const float* a_re, const float* a_im,
+                              const float* b_re, const float* b_im, Phase p,
+                              float s, float* o_re, float* o_im,
+                              int lanes) noexcept {
+    switch (p) {
+      case Phase::kPlusOne:
+        LQCD_PRAGMA_SIMD
+        for (int l = 0; l < lanes; ++l) {
+          o_re[l] = a_re[l] + s * b_re[l];
+          o_im[l] = a_im[l] + s * b_im[l];
+        }
+        break;
+      case Phase::kMinusOne:
+        LQCD_PRAGMA_SIMD
+        for (int l = 0; l < lanes; ++l) {
+          o_re[l] = a_re[l] - s * b_re[l];
+          o_im[l] = a_im[l] - s * b_im[l];
+        }
+        break;
+      case Phase::kPlusI:
+        LQCD_PRAGMA_SIMD
+        for (int l = 0; l < lanes; ++l) {
+          const float br = b_re[l], bi = b_im[l];
+          o_re[l] = a_re[l] - s * bi;
+          o_im[l] = a_im[l] + s * br;
+        }
+        break;
+      case Phase::kMinusI:
+      default:
+        LQCD_PRAGMA_SIMD
+        for (int l = 0; l < lanes; ++l) {
+          const float br = b_re[l], bi = b_im[l];
+          o_re[l] = a_re[l] + s * bi;
+          o_im[l] = a_im[l] - s * br;
+        }
+        break;
+    }
+  }
+
+  /// h = upper two rows of (1 + sign*gamma_mu) applied to the spinor lane
+  /// vectors at `in_site` (24 components x lanes -> 12 components x lanes).
+  static void lane_project(const float* in_site, int mu, int sign, float* h,
+                           int lanes) noexcept {
+    const PermPhaseMatrix& g = kGamma[static_cast<std::size_t>(mu)];
+    const float s = sign > 0 ? 1.0f : -1.0f;
+    for (int r = 0; r < 2; ++r) {
+      const int col = g.col[static_cast<std::size_t>(r)];
+      for (int c = 0; c < kNumColors; ++c) {
+        const float* a_re = in_site + (r * kNumColors + c) * 2 * lanes;
+        const float* b_re = in_site + (col * kNumColors + c) * 2 * lanes;
+        float* o_re = h + (r * kNumColors + c) * 2 * lanes;
+        lane_phase_madd(a_re, a_re + lanes, b_re, b_re + lanes,
+                        g.phase[static_cast<std::size_t>(r)], s, o_re,
+                        o_re + lanes, lanes);
+      }
+    }
+  }
+
+  /// acc_site += full spinor reconstructed from the half-spinor lane
+  /// vectors `h` for projector (1 + sign*gamma_mu).
+  static void lane_reconstruct_add(float* acc_site, const float* h, int mu,
+                                   int sign, int lanes) noexcept {
+    const PermPhaseMatrix& g = kGamma[static_cast<std::size_t>(mu)];
+    const float s = sign > 0 ? 1.0f : -1.0f;
+    for (int r = 0; r < 2; ++r)
+      for (int c = 0; c < kNumColors; ++c) {
+        float* a_re = acc_site + (r * kNumColors + c) * 2 * lanes;
+        float* a_im = a_re + lanes;
+        const float* h_re = h + (r * kNumColors + c) * 2 * lanes;
+        const float* h_im = h_re + lanes;
+        LQCD_PRAGMA_SIMD
+        for (int l = 0; l < lanes; ++l) {
+          a_re[l] += h_re[l];
+          a_im[l] += h_im[l];
+        }
+      }
+    for (int r = 2; r < kNumSpins; ++r) {
+      const int col = g.col[static_cast<std::size_t>(r)];
+      for (int c = 0; c < kNumColors; ++c) {
+        float* a_re = acc_site + (r * kNumColors + c) * 2 * lanes;
+        const float* b_re = h + (col * kNumColors + c) * 2 * lanes;
+        lane_phase_madd(a_re, a_re + lanes, b_re, b_re + lanes,
+                        g.phase[static_cast<std::size_t>(r)], s, a_re,
+                        a_re + lanes, lanes);
+      }
+    }
+  }
+
+  /// y = U x (or U^dagger x) on half-spinor lane vectors: the link is
+  /// loaded once and applied to every lane.
+  static void lane_su3_mul(const SU3<float>& u, const float* x, float* y,
+                           int lanes, bool adjoint) noexcept {
+    for (int sp = 0; sp < 2; ++sp)
+      for (int i = 0; i < kNumColors; ++i) {
+        float* y_re = y + (sp * kNumColors + i) * 2 * lanes;
+        float* y_im = y_re + lanes;
+        for (int j = 0; j < kNumColors; ++j) {
+          const Complex<float> uij =
+              adjoint ? std::conj(u.m[j][i]) : u.m[i][j];
+          const float ur = uij.real(), ui = uij.imag();
+          const float* x_re = x + (sp * kNumColors + j) * 2 * lanes;
+          const float* x_im = x_re + lanes;
+          if (j == 0) {
+            LQCD_PRAGMA_SIMD
+            for (int l = 0; l < lanes; ++l) {
+              y_re[l] = ur * x_re[l] - ui * x_im[l];
+              y_im[l] = ur * x_im[l] + ui * x_re[l];
+            }
+          } else {
+            LQCD_PRAGMA_SIMD
+            for (int l = 0; l < lanes; ++l) {
+              y_re[l] += ur * x_re[l] - ui * x_im[l];
+              y_im[l] += ur * x_im[l] + ui * x_re[l];
+            }
+          }
+        }
+      }
+  }
+
+  /// Apply the two chirality clover blocks at a site to the spinor lane
+  /// vectors: out_site = blockpair(in_site). Must not alias.
+  static void lane_apply_block_pair(const PackedHermitian6<float>& b0,
+                                    const PackedHermitian6<float>& b1,
+                                    const float* in_site, float* out_site,
+                                    int lanes) noexcept {
+    const PackedHermitian6<float>* blocks[2] = {&b0, &b1};
+    for (int chi = 0; chi < 2; ++chi) {
+      const auto& blk = *blocks[chi];
+      const float* x0 = in_site + chi * 2 * kCloverBlockDim * lanes;
+      float* y0 = out_site + chi * 2 * kCloverBlockDim * lanes;
+      for (int i = 0; i < kCloverBlockDim; ++i) {
+        float* o_re = y0 + 2 * i * lanes;
+        float* o_im = o_re + lanes;
+        {
+          const float di = blk.diag[i];
+          const float* x_re = x0 + 2 * i * lanes;
+          const float* x_im = x_re + lanes;
+          LQCD_PRAGMA_SIMD
+          for (int l = 0; l < lanes; ++l) {
+            o_re[l] = di * x_re[l];
+            o_im[l] = di * x_im[l];
+          }
+        }
+        for (int j = 0; j < i; ++j) {
+          const Complex<float> o = blk.offd[packed_index(i, j)];
+          const float pr = o.real(), pi = o.imag();
+          const float* x_re = x0 + 2 * j * lanes;
+          const float* x_im = x_re + lanes;
+          LQCD_PRAGMA_SIMD
+          for (int l = 0; l < lanes; ++l) {
+            o_re[l] += pr * x_re[l] - pi * x_im[l];
+            o_im[l] += pr * x_im[l] + pi * x_re[l];
+          }
+        }
+        for (int j = i + 1; j < kCloverBlockDim; ++j) {
+          // acc += x[j] * conj(offd[j][i]), as in PackedHermitian6::apply.
+          const Complex<float> o = blk.offd[packed_index(j, i)];
+          const float pr = o.real(), pi = o.imag();
+          const float* x_re = x0 + 2 * j * lanes;
+          const float* x_im = x_re + lanes;
+          LQCD_PRAGMA_SIMD
+          for (int l = 0; l < lanes; ++l) {
+            o_re[l] += x_re[l] * pr + x_im[l] * pi;
+            o_im[l] += x_im[l] * pr - x_re[l] * pi;
+          }
+        }
+      }
+    }
+  }
+
+  /// Lane version of local_dslash_impl: out = D_{out_parity,1-out_parity}
+  /// applied to all lanes, each link loaded once per hop. `in` is indexed
+  /// by the parity-local convention of the scalar path (even fields by
+  /// local site < hv, odd fields by l - hv).
+  void lane_dslash(int d, int out_parity, const BlockSpinorLanes& in,
+                   BlockSpinorLanes& out, Scratch& sc) {
+    const std::int32_t hv = part_->domain_half_volume();
+    const std::int32_t l0 = out_parity == 0 ? 0 : hv;
+    const std::int32_t in_off = out_parity == 0 ? hv : 0;
+    const int L = out.lanes();
+    float* h1 = sc.h1.data();
+    float* h2 = sc.h2.data();
+    for (std::int32_t i = 0; i < hv; ++i) {
+      const std::int32_t l = l0 + i;
+      float* acc = out.lane_vec(i, 0);
+      std::memset(acc, 0,
+                  sizeof(float) * static_cast<std::size_t>(kSpinorReals) *
+                      static_cast<std::size_t>(L));
+      for (int mu = 0; mu < kNumDims; ++mu) {
+        const std::int32_t lf = part_->local_neighbor(l, mu, Dir::kForward);
+        if (lf >= 0) {
+          lane_project(in.lane_vec(lf - in_off, 0), mu, -1, h1, L);
+          lane_su3_mul(load_su3(link_ptr(d, l, mu)), h1, h2, L, false);
+          lane_reconstruct_add(acc, h2, mu, -1, L);
+        }
+        const std::int32_t lb = part_->local_neighbor(l, mu, Dir::kBackward);
+        if (lb >= 0) {
+          lane_project(in.lane_vec(lb - in_off, 0), mu, +1, h1, L);
+          lane_su3_mul(load_su3(link_ptr(d, lb, mu)), h1, h2, L, true);
+          lane_reconstruct_add(acc, h2, mu, +1, L);
+        }
+      }
+    }
+  }
+
+  /// Lane version of local_schur: out_e = Dtilde_ee in_e for all lanes.
+  void lane_schur(int d, const BlockSpinorLanes& in_e, BlockSpinorLanes& out_e,
+                  Scratch& sc) {
+    const std::int32_t hv = part_->domain_half_volume();
+    const int L = in_e.lanes();
+    lane_dslash(d, 1, in_e, sc.t1_lanes, sc);
+    for (std::int32_t lo = 0; lo < hv; ++lo)
+      lane_apply_block_pair(load_block(inv_o_ptr_const(d, lo, 0)),
+                            load_block(inv_o_ptr_const(d, lo, 1)),
+                            sc.t1_lanes.lane_vec(lo, 0),
+                            sc.t2_lanes.lane_vec(lo, 0), L);
+    lane_dslash(d, 0, sc.t2_lanes, out_e, sc);
+    for (std::int32_t le = 0; le < hv; ++le) {
+      lane_apply_block_pair(load_block(diag_e_ptr_const(d, le, 0)),
+                            load_block(diag_e_ptr_const(d, le, 1)),
+                            in_e.lane_vec(le, 0), sc.s24.data(), L);
+      float* o = out_e.lane_vec(le, 0);
+      const float* diag = sc.s24.data();
+      LQCD_PRAGMA_SIMD
+      for (int k = 0; k < kSpinorReals * L; ++k)
+        o[k] = diag[k] - 0.25f * o[k];
+    }
+  }
+
+  static void round_lanes_fp16(float* p, std::int64_t n) noexcept {
+    for (std::int64_t k = 0; k < n; ++k) p[k] = half_round_trip(p[k]);
+  }
+
+  /// Lane-vectorized domain visit: gather all RHS residuals into the
+  /// SOA-over-RHS containers, run ONE even-odd MR block solve across all
+  /// lanes (per-lane alpha, lane masking for converged/zero RHS), scatter
+  /// the corrections back, and pack each RHS's boundary buffers.
+  void solve_domain_lanes(int d, int nrhs, FermionField<float>* const* u,
+                          Scratch& sc) {
+    const std::int32_t vd = part_->domain_volume();
+    const std::int32_t hv = part_->domain_half_volume();
+    sc.ensure_lanes(vd, hv, nrhs);
+    const int L = sc.r_lanes.lanes();
+    const auto nb = static_cast<std::int64_t>(nrhs);
+
+    for (std::int32_t l = 0; l < vd; ++l)
+      sc.site_map[static_cast<std::size_t>(l)] = part_->global_site(d, l);
+    pack_rhs_lanes(r_ptrs_.data(), nrhs, sc.site_map.data(), vd, sc.r_lanes);
+    if (params_.half_precision_spinors)
+      round_lanes_fp16(sc.r_lanes.data(),
+                       static_cast<std::int64_t>(vd) * kSpinorReals * L);
+
+    // Schur RHS: rhs_e = r_e + 1/2 D_eo A_oo^-1 r_o, all lanes at once.
+    for (std::int32_t lo = 0; lo < hv; ++lo)
+      lane_apply_block_pair(load_block(inv_o_ptr_const(d, lo, 0)),
+                            load_block(inv_o_ptr_const(d, lo, 1)),
+                            sc.r_lanes.lane_vec(hv + lo, 0),
+                            sc.t1_lanes.lane_vec(lo, 0), L);
+    lane_dslash(d, 0, sc.t1_lanes, sc.rhs_e_lanes, sc);
+    for (std::int32_t le = 0; le < hv; ++le) {
+      const float* rv = sc.r_lanes.lane_vec(le, 0);
+      float* ev = sc.rhs_e_lanes.lane_vec(le, 0);
+      LQCD_PRAGMA_SIMD
+      for (int k = 0; k < kSpinorReals * L; ++k) ev[k] = rv[k] + 0.5f * ev[k];
+    }
+    sc.stats.flops += nb * (168 * hops_per_parity_ + hv * (504 + 24));
+
+    // Block MR on Dtilde_ee, every lane in one pass. Counter contract:
+    // a lane is charged an MR iteration (and schur+dot flops) for every
+    // iteration it ENTERS, and axpy flops only when its arar != 0 —
+    // matching the scalar path's `if (arar == 0.0) break` exactly.
+    sc.z_lanes.zero();
+    std::memcpy(sc.mr_r_lanes.data(), sc.rhs_e_lanes.data(),
+                sizeof(float) * static_cast<std::size_t>(hv) *
+                    static_cast<std::size_t>(kSpinorReals) *
+                    static_cast<std::size_t>(L));
+    sc.mr_state.reset(L, nrhs);
+    const std::int64_t ncplx =
+        static_cast<std::int64_t>(hv) * (kSpinorReals / 2);
+    for (int it = 0; it < params_.block_mr_iterations; ++it) {
+      const int active_before = sc.mr_state.num_active();
+      if (active_before == 0) break;
+      lane_schur(d, sc.mr_r_lanes, sc.mr_ar_lanes, sc);
+      lane_mr_dots(sc.mr_r_lanes.data(), sc.mr_ar_lanes.data(), ncplx, L,
+                   sc.mr_state);
+      sc.stats.mr_iterations += active_before;
+      sc.stats.flops += active_before * (schur_flops() + hv * 24 * 3);
+      const int active_after = lane_mr_alphas(sc.mr_state);
+      if (active_after == 0) continue;  // all alphas 0: z and r frozen
+      lane_mr_axpy(sc.z_lanes.data(), sc.mr_r_lanes.data(),
+                   sc.mr_ar_lanes.data(), ncplx, L, sc.mr_state);
+      sc.stats.flops += static_cast<std::int64_t>(active_after) * hv * 24 * 4;
+    }
+
+    // Odd reconstruction: z_o = A_oo^-1 (r_o + 1/2 D_oe z_e).
+    lane_dslash(d, 1, sc.z_lanes, sc.t1_lanes, sc);
+    for (std::int32_t lo = 0; lo < hv; ++lo) {
+      const float* rv = sc.r_lanes.lane_vec(hv + lo, 0);
+      const float* tv = sc.t1_lanes.lane_vec(lo, 0);
+      float* rhs_o = sc.s24.data();
+      LQCD_PRAGMA_SIMD
+      for (int k = 0; k < kSpinorReals * L; ++k)
+        rhs_o[k] = rv[k] + 0.5f * tv[k];
+      lane_apply_block_pair(load_block(inv_o_ptr_const(d, lo, 0)),
+                            load_block(inv_o_ptr_const(d, lo, 1)), rhs_o,
+                            sc.z_lanes.lane_vec(hv + lo, 0), L);
+    }
+    sc.stats.flops += nb * (168 * hops_per_parity_ + hv * (504 + 24));
+
+    if (params_.half_precision_spinors)
+      round_lanes_fp16(sc.z_lanes.data(),
+                       static_cast<std::int64_t>(vd) * kSpinorReals * L);
+
+    // Scatter: u += z; residual even <- MR residual, odd <- 0.
+    for (std::int32_t l = 0; l < vd; ++l) {
+      const std::int32_t g = sc.site_map[static_cast<std::size_t>(l)];
+      for (int sp = 0; sp < kNumSpins; ++sp)
+        for (int c = 0; c < kNumColors; ++c) {
+          const int comp = (sp * kNumColors + c) * 2;
+          const float* z_re = sc.z_lanes.lane_vec(l, comp);
+          const float* z_im = z_re + L;
+          for (int b = 0; b < nrhs; ++b)
+            (*u[b])[g].s[sp].c[c] += Complex<float>(z_re[b], z_im[b]);
+        }
+      if (l < hv) {
+        for (int sp = 0; sp < kNumSpins; ++sp)
+          for (int c = 0; c < kNumColors; ++c) {
+            const int comp = (sp * kNumColors + c) * 2;
+            const float* r_re = sc.mr_r_lanes.lane_vec(l, comp);
+            const float* r_im = r_re + L;
+            for (int b = 0; b < nrhs; ++b)
+              r_batch_[static_cast<std::size_t>(b)][g].s[sp].c[c] =
+                  Complex<float>(r_re[b], r_im[b]);
+          }
+      } else {
+        for (int b = 0; b < nrhs; ++b)
+          r_batch_[static_cast<std::size_t>(b)][g].zero();
+      }
+    }
+
+    pack_boundaries_lanes(d, nrhs, sc);
+    sc.stats.block_solves += nrhs;
+  }
+
+  /// Lane version of pack_boundaries: each face site's link is loaded
+  /// once, projected/multiplied across all lanes, then fanned out to the
+  /// per-(RHS, domain) AOS buffers the halo exchange consumes unchanged.
+  void pack_boundaries_lanes(int d, int nrhs, Scratch& sc) {
+    const int L = sc.z_lanes.lanes();
+    const auto nb = static_cast<std::int64_t>(nrhs);
+    float* h1 = sc.h1.data();
+    float* h2 = sc.h2.data();
+    for (int mu = 0; mu < kNumDims; ++mu) {
+      {
+        const auto& face = part_->face_sites(mu, Dir::kForward);
+        for (std::size_t i = 0; i < face.size(); ++i) {
+          const std::int32_t l = face[i];
+          lane_project(sc.z_lanes.lane_vec(l, 0), mu, +1, h1, L);
+          lane_su3_mul(load_su3(link_ptr(d, l, mu)), h1, h2, L, true);
+          for (int b = 0; b < nrhs; ++b) {
+            float* buf =
+                buffer_ptr(buffer_slot(b, d), mu, Dir::kForward) + i * 12;
+            for (int k = 0; k < 12; ++k) buf[k] = h2[k * L + b];
+          }
+        }
+        sc.stats.boundary_bytes +=
+            nb * static_cast<std::int64_t>(face.size()) * 12 * 4;
+        sc.stats.flops +=
+            nb * static_cast<std::int64_t>(face.size()) * (12 + 132);
+      }
+      {
+        const auto& face = part_->face_sites(mu, Dir::kBackward);
+        for (std::size_t i = 0; i < face.size(); ++i) {
+          const std::int32_t l = face[i];
+          lane_project(sc.z_lanes.lane_vec(l, 0), mu, -1, h1, L);
+          for (int b = 0; b < nrhs; ++b) {
+            float* buf =
+                buffer_ptr(buffer_slot(b, d), mu, Dir::kBackward) + i * 12;
+            for (int k = 0; k < 12; ++k) buf[k] = h1[k * L + b];
+          }
+        }
+        sc.stats.boundary_bytes +=
+            nb * static_cast<std::int64_t>(face.size()) * 12 * 4;
+        sc.stats.flops += nb * static_cast<std::int64_t>(face.size()) * 12;
+      }
+    }
   }
 
   void sweep_color(int color, int nrhs, FermionField<float>* const* u) {
@@ -696,6 +1152,9 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
   /// Residual fields, one per RHS of the widest batch seen so far.
   /// r_batch_[0] doubles as the single-RHS residual.
   std::vector<FermionField<float>> r_batch_;
+  /// Read-only pointer view of r_batch_[0..nrhs) for the lane gather
+  /// bridge; rebuilt at the start of every apply_impl().
+  std::vector<const FermionField<float>*> r_ptrs_;
   std::vector<Scratch> scratch_;
 };
 

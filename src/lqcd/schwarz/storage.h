@@ -12,8 +12,12 @@
 // 72 kB per 8x4^3 domain).
 #pragma once
 
+#include <algorithm>
+
+#include "lqcd/linalg/fermion_field.h"
 #include "lqcd/linalg/fp16.h"
 #include "lqcd/su3/clover_block.h"
+#include "lqcd/su3/spinor.h"
 #include "lqcd/su3/su3.h"
 
 namespace lqcd {
@@ -87,6 +91,116 @@ PackedHermitian6<float> load_block(const S* src) noexcept {
     b.offd[i] = Complex<float>(re, im);
   }
   return b;
+}
+
+// ---------------------------------------------------------------------------
+// Multi-RHS block spinors: SOA-over-RHS (paper Sec. VI).
+//
+// A batched domain visit wants every arithmetic operation of the block
+// solve applied to ALL right-hand sides while a matrix element sits in
+// registers. The layout that makes that a unit-stride SIMD loop is
+// "structure of arrays over the RHS index": [site][real component][lane],
+// with the lane (= RHS) index innermost and padded to a SIMD-friendly
+// width. Padding lanes hold zeros, which every kernel of the block solve
+// maps to zeros, so they are arithmetically inert.
+// ---------------------------------------------------------------------------
+
+/// Unit-stride SIMD quantum of the RHS lane dimension. 4 floats (128 bit)
+/// keeps padding waste at <= 3 lanes for any nrhs; lane loops run over the
+/// full padded count, so compilers are free to fuse consecutive groups
+/// into wider (AVX2/AVX-512) vectors when available.
+inline constexpr int kRhsSimdWidth = 4;
+
+constexpr int padded_rhs_lanes(int nrhs) noexcept {
+  return (nrhs + kRhsSimdWidth - 1) / kRhsSimdWidth * kRhsSimdWidth;
+}
+
+/// Multi-RHS block-spinor container for the lane-vectorized Schwarz block
+/// solve: `sites x kSpinorReals` lane vectors, each a contiguous run of
+/// `lanes()` floats (lanes() = nrhs padded up to kRhsSimdWidth).
+class BlockSpinorLanes {
+ public:
+  BlockSpinorLanes() = default;
+  BlockSpinorLanes(std::int32_t sites, int nrhs)
+      : sites_(sites),
+        nrhs_(nrhs),
+        lanes_(padded_rhs_lanes(nrhs)),
+        data_(static_cast<std::size_t>(sites) * kSpinorReals *
+              static_cast<std::size_t>(padded_rhs_lanes(nrhs))) {
+    LQCD_CHECK(sites >= 0 && nrhs >= 1);
+  }
+
+  std::int32_t sites() const noexcept { return sites_; }
+  int nrhs() const noexcept { return nrhs_; }
+  int lanes() const noexcept { return lanes_; }
+
+  /// Pointer to the lane vector of (site, real component); components
+  /// follow the Spinor memory order: comp = (spin * 3 + color) * 2 + reim.
+  float* lane_vec(std::int32_t site, int comp) noexcept {
+    return data_.data() +
+           (static_cast<std::size_t>(site) * kSpinorReals +
+            static_cast<std::size_t>(comp)) *
+               static_cast<std::size_t>(lanes_);
+  }
+  const float* lane_vec(std::int32_t site, int comp) const noexcept {
+    return const_cast<BlockSpinorLanes*>(this)->lane_vec(site, comp);
+  }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+
+  void zero() noexcept { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+ private:
+  std::int32_t sites_ = 0;
+  int nrhs_ = 0;
+  int lanes_ = 0;
+  AlignedVector<float> data_;
+};
+
+/// Gather bridge from per-RHS fields into the SOA-over-RHS layout:
+/// out(i, comp, b) = fields[b][site_map ? site_map[i] : i].comp.
+/// Padding lanes (b >= nrhs) are zero-filled.
+inline void pack_rhs_lanes(const FermionField<float>* const* fields,
+                           int nrhs, const std::int32_t* site_map,
+                           std::int32_t nsites, BlockSpinorLanes& out) {
+  LQCD_CHECK(out.sites() >= nsites && out.nrhs() == nrhs);
+  const int lanes = out.lanes();
+  for (std::int32_t i = 0; i < nsites; ++i) {
+    const std::int32_t g = site_map != nullptr ? site_map[i] : i;
+    for (int sp = 0; sp < kNumSpins; ++sp)
+      for (int c = 0; c < kNumColors; ++c) {
+        const int comp = (sp * kNumColors + c) * 2;
+        float* re = out.lane_vec(i, comp);
+        float* im = out.lane_vec(i, comp + 1);
+        for (int b = 0; b < nrhs; ++b) {
+          const Complex<float>& z = (*fields[b])[g].s[sp].c[c];
+          re[b] = z.real();
+          im[b] = z.imag();
+        }
+        for (int b = nrhs; b < lanes; ++b) re[b] = im[b] = 0.0f;
+      }
+  }
+}
+
+/// Scatter bridge back to per-RHS fields:
+/// fields[b][site_map ? site_map[i] : i] = in(i, :, b).
+inline void unpack_rhs_lanes(const BlockSpinorLanes& in,
+                             const std::int32_t* site_map,
+                             std::int32_t nsites,
+                             FermionField<float>* const* fields, int nrhs) {
+  LQCD_CHECK(in.sites() >= nsites && in.nrhs() == nrhs);
+  for (std::int32_t i = 0; i < nsites; ++i) {
+    const std::int32_t g = site_map != nullptr ? site_map[i] : i;
+    for (int sp = 0; sp < kNumSpins; ++sp)
+      for (int c = 0; c < kNumColors; ++c) {
+        const int comp = (sp * kNumColors + c) * 2;
+        const float* re = in.lane_vec(i, comp);
+        const float* im = in.lane_vec(i, comp + 1);
+        for (int b = 0; b < nrhs; ++b)
+          (*fields[b])[g].s[sp].c[c] = Complex<float>(re[b], im[b]);
+      }
+  }
 }
 
 }  // namespace lqcd

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "lqcd/dirac/wilson_clover.h"
 #include "lqcd/solver/linear_operator.h"
@@ -65,6 +66,51 @@ SolverStats even_odd_solve(const WilsonCloverOperator<T>& op,
   SolverStats stats = even_solver(fe_tilde, u_e);
   op.reconstruct_odd(f_o, u_e, u_o);
   op.merge(u_e, u_o, u);
+  return stats;
+}
+
+/// Batched even-system solver contract: solve Dtilde_ee u_e[b] = rhs_e[b]
+/// for every RHS of the batch in one call — the hook a multi-RHS
+/// (SOA-over-RHS lane-vectorized) even solver plugs into.
+template <class T>
+using BatchEvenSolver = std::function<SolverStats(
+    const std::vector<const FermionField<T>*>& rhs_e,
+    const std::vector<FermionField<T>*>& u_e)>;
+
+/// Batched even-odd-preconditioned solve of A u[b] = f[b]: every RHS is
+/// reduced to the half lattice first, the even systems are handed to the
+/// batched solver as ONE call (so it can vectorize over the RHS index),
+/// and every odd half is reconstructed after. With nrhs = 1 this performs
+/// the identical operation sequence as even_odd_solve.
+template <class T>
+SolverStats even_odd_solve_batch(const WilsonCloverOperator<T>& op,
+                                 const std::vector<const FermionField<T>*>& f,
+                                 const std::vector<FermionField<T>*>& u,
+                                 const BatchEvenSolver<T>& even_solver) {
+  LQCD_CHECK_MSG(!f.empty() && f.size() == u.size(),
+                 "even_odd_solve_batch needs matching, non-empty batches");
+  const auto half = op.checkerboard().half_volume();
+  const auto nrhs = f.size();
+  std::vector<FermionField<T>> f_e(nrhs), f_o(nrhs), fe_tilde(nrhs),
+      u_e(nrhs), u_o(nrhs);
+  std::vector<const FermionField<T>*> rhs_ptrs(nrhs);
+  std::vector<FermionField<T>*> ue_ptrs(nrhs);
+  for (std::size_t b = 0; b < nrhs; ++b) {
+    f_e[b] = FermionField<T>(half);
+    f_o[b] = FermionField<T>(half);
+    fe_tilde[b] = FermionField<T>(half);
+    u_e[b] = FermionField<T>(half);
+    u_o[b] = FermionField<T>(half);
+    op.split(*f[b], f_e[b], f_o[b]);
+    op.schur_rhs(f_e[b], f_o[b], fe_tilde[b]);
+    rhs_ptrs[b] = &fe_tilde[b];
+    ue_ptrs[b] = &u_e[b];
+  }
+  SolverStats stats = even_solver(rhs_ptrs, ue_ptrs);
+  for (std::size_t b = 0; b < nrhs; ++b) {
+    op.reconstruct_odd(f_o[b], u_e[b], u_o[b]);
+    op.merge(u_e[b], u_o[b], *u[b]);
+  }
   return stats;
 }
 

@@ -6,6 +6,11 @@
 // reduction for the two inner products.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "lqcd/base/aligned.h"
 #include "lqcd/solver/linear_operator.h"
 
 namespace lqcd {
@@ -90,6 +95,127 @@ SolverStats mr_solve(const LinearOperator<T>& op, const FermionField<T>& b,
   // tolerance <= 0 is the fixed-iteration-count mode: running out the
   // budget is the intended completion, not a breakdown.
   return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Lane-wise MR scalars for multi-RHS block solves (SOA-over-RHS).
+//
+// The lane-vectorized Schwarz block solve stores a batch of right-hand
+// sides with the RHS index innermost ([site][component][lane], see
+// schwarz/storage.h) and runs the MR recurrence on all lanes in one pass.
+// Each lane carries its OWN alpha = <Ar, r> / <Ar, Ar> — accumulated in
+// double exactly like the scalar path — and a lane whose <Ar, Ar> hits
+// exact zero is masked out (alpha forced to 0, freezing its z and r):
+// the lane analogue of the scalar path's `if (arar == 0.0) break`.
+//
+// The helpers below are layout-light on purpose: they take raw float
+// pointers in the [complex component][lane] order plus the lane count, so
+// they work on any container (or sub-range) with that innermost layout.
+// ---------------------------------------------------------------------------
+
+/// Per-lane MR scalar state. `lanes` is the padded lane count; only the
+/// first `active_lanes` start active (padding lanes never iterate and are
+/// never counted).
+struct LaneMRState {
+  std::vector<double> arr_re, arr_im, arar;  ///< <Ar,r>, <Ar,Ar> per lane
+  std::vector<float> alpha_re, alpha_im;     ///< current per-lane alpha
+  std::vector<unsigned char> active;         ///< 1 while a lane iterates
+
+  LaneMRState() = default;
+  LaneMRState(int lanes, int active_lanes) { reset(lanes, active_lanes); }
+
+  void reset(int lanes, int active_lanes) {
+    arr_re.assign(static_cast<std::size_t>(lanes), 0.0);
+    arr_im.assign(static_cast<std::size_t>(lanes), 0.0);
+    arar.assign(static_cast<std::size_t>(lanes), 0.0);
+    alpha_re.assign(static_cast<std::size_t>(lanes), 0.0f);
+    alpha_im.assign(static_cast<std::size_t>(lanes), 0.0f);
+    active.assign(static_cast<std::size_t>(lanes), 0);
+    for (int l = 0; l < active_lanes && l < lanes; ++l)
+      active[static_cast<std::size_t>(l)] = 1;
+  }
+
+  int lanes() const noexcept { return static_cast<int>(active.size()); }
+  int num_active() const noexcept {
+    int n = 0;
+    for (const auto a : active) n += a;
+    return n;
+  }
+};
+
+/// One-pass accumulation of both MR inner products of every lane:
+/// arr = <Ar, r>, arar = <Ar, Ar>. `r` and `ar` hold `ncomplex` complex
+/// lane vectors — component 2k is the real part, 2k+1 the imaginary
+/// part, each a contiguous run of `lanes` floats. Products are widened
+/// to double exactly as in the scalar block solve.
+inline void lane_mr_dots(const float* r, const float* ar,
+                         std::int64_t ncomplex, int lanes,
+                         LaneMRState& st) noexcept {
+  std::fill(st.arr_re.begin(), st.arr_re.end(), 0.0);
+  std::fill(st.arr_im.begin(), st.arr_im.end(), 0.0);
+  std::fill(st.arar.begin(), st.arar.end(), 0.0);
+  double* arr_re = st.arr_re.data();
+  double* arr_im = st.arr_im.data();
+  double* arar = st.arar.data();
+  for (std::int64_t k = 0; k < ncomplex; ++k) {
+    const float* rre = r + 2 * k * lanes;
+    const float* rim = rre + lanes;
+    const float* are = ar + 2 * k * lanes;
+    const float* aim = are + lanes;
+    LQCD_PRAGMA_SIMD
+    for (int l = 0; l < lanes; ++l) {
+      const double ar_ = are[l], ai_ = aim[l];
+      const double rr_ = rre[l], ri_ = rim[l];
+      arr_re[l] += ar_ * rr_ + ai_ * ri_;
+      arr_im[l] += ar_ * ri_ - ai_ * rr_;
+      arar[l] += ar_ * ar_ + ai_ * ai_;
+    }
+  }
+}
+
+/// Per-lane alpha = arr / arar for the still-active lanes; a lane with
+/// arar == 0 (converged or zero RHS) is deactivated and gets alpha = 0,
+/// so the subsequent update freezes its z and r. Returns the number of
+/// lanes still active AFTER masking.
+inline int lane_mr_alphas(LaneMRState& st) noexcept {
+  int remaining = 0;
+  for (int l = 0; l < st.lanes(); ++l) {
+    const auto ls = static_cast<std::size_t>(l);
+    if (st.active[ls] == 0 || st.arar[ls] == 0.0) {
+      st.active[ls] = 0;
+      st.alpha_re[ls] = 0.0f;
+      st.alpha_im[ls] = 0.0f;
+      continue;
+    }
+    st.alpha_re[ls] = static_cast<float>(st.arr_re[ls] / st.arar[ls]);
+    st.alpha_im[ls] = static_cast<float>(st.arr_im[ls] / st.arar[ls]);
+    ++remaining;
+  }
+  return remaining;
+}
+
+/// The MR update, lane-wise: z += alpha r, r -= alpha Ar, with the
+/// per-lane (masked) alphas of `st`. Layout as in lane_mr_dots.
+inline void lane_mr_axpy(float* z, float* r, const float* ar,
+                         std::int64_t ncomplex, int lanes,
+                         const LaneMRState& st) noexcept {
+  const float* alr = st.alpha_re.data();
+  const float* ali = st.alpha_im.data();
+  for (std::int64_t k = 0; k < ncomplex; ++k) {
+    float* zre = z + 2 * k * lanes;
+    float* zim = zre + lanes;
+    float* rre = r + 2 * k * lanes;
+    float* rim = rre + lanes;
+    const float* are = ar + 2 * k * lanes;
+    const float* aim = are + lanes;
+    LQCD_PRAGMA_SIMD
+    for (int l = 0; l < lanes; ++l) {
+      zre[l] += alr[l] * rre[l] - ali[l] * rim[l];
+      zim[l] += alr[l] * rim[l] + ali[l] * rre[l];
+      rre[l] -= alr[l] * are[l] - ali[l] * aim[l];
+      rim[l] -= alr[l] * aim[l] + ali[l] * are[l];
+    }
+  }
 }
 
 }  // namespace lqcd

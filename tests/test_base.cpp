@@ -111,7 +111,9 @@ TEST(ErrorMacro, ThrowsWithContext) {
 TEST(Timer, MeasuresElapsedTime) {
   Timer t;
   volatile double sink = 0;
-  for (int i = 0; i < 2000000; ++i) sink += i * 1e-9;
+  // C++20 deprecates compound assignment on volatile operands; keep the
+  // optimizer-defeating store explicit instead.
+  for (int i = 0; i < 2000000; ++i) sink = sink + i * 1e-9;
   const double s = t.seconds();
   EXPECT_GT(s, 0.0);
   EXPECT_LT(s, 60.0);

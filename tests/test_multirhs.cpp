@@ -241,11 +241,15 @@ TEST(SchwarzBatch, MatrixLoadsPerSweepIndependentOfNrhs) {
 TEST(SchwarzBatch, BatchedRhsAreIndependentAndMatchSequentialApplies) {
   // Each RHS of a batch must get exactly the result it would get alone:
   // the per-(RHS, domain) face-buffer slots and residual fields must not
-  // leak across the batch.
+  // leak across the batch. With the lane-vectorized path disabled the
+  // per-RHS loop executes the identical scalar operation sequence, so the
+  // match is bit-exact (the lane path's tolerance contract is covered in
+  // test_lane_batch.cpp).
   SchwarzFixture f;
   SchwarzParams p;
   p.schwarz_iterations = 2;
   p.block_mr_iterations = 3;
+  p.lane_vectorized = false;
   SchwarzPreconditioner<float> m(f.part, f.op, p);
 
   const int nrhs = 3;
