@@ -9,12 +9,15 @@
 // Usage:
 //   scaling_explorer [Lx Ly Lz Lt] [node counts...]
 //   (defaults: 48 48 48 64 on 16..256 nodes)
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
 
 #include "lqcd/base/table.h"
 #include "lqcd/cluster/cluster_sim.h"
+#include "lqcd/resilience/fault_injector.h"
+#include "lqcd/vnode/collectives.h"
 
 using namespace lqcd;
 using namespace lqcd::cluster;
@@ -86,5 +89,33 @@ int main(int argc, char** argv) {
       "  * 'ndom' is the per-color Schwarz domain count per node (Eq. 6);\n"
       "    when it drops below 60 the KNC cores idle (Eq. 7) and below ~30\n"
       "    the strong-scaling limit is reached.\n");
+
+  // Recovery-cost footnote: what ONE node failure costs at the largest
+  // node count, under (a) the legacy flat recovery constant and (b) the
+  // rewire cost emulated by replaying the fault-tolerant allreduce tree
+  // with a dead rank (vnode emulation).
+  {
+    const int n = node_counts.back();
+    std::vector<double> parts(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r)
+      parts[static_cast<std::size_t>(r)] = std::sin(1.0 + r);
+    FaultInjectorConfig fic;
+    fic.fault = FaultClass::kRankDeath;
+    fic.first_opportunity = n / 2;  // a mid-tree death, worst-ish case
+    fic.max_events = 1;
+    FaultInjector inj(fic);
+    CollectiveConfig cfg;
+    cfg.injector = &inj;
+    CommStats comm;
+    const auto res = tree_allreduce(parts, comm, cfg);
+    const double hop_s = sim.params().network.allreduce_latency_us * 1e-6;
+    const double flat = 300.0;  // typical flat respawn constant
+    std::printf(
+        "  * per-failure recovery at %d nodes: flat model %.0f s vs\n"
+        "    emulated dead-rank rewire %lld hops -> %.4f s + rework\n"
+        "    (set NodeFaultSpec::rewire_hops to use the measured model).\n",
+        n, flat, static_cast<long long>(res.stats.rewire_hops),
+        rewire_seconds(res.stats, hop_s));
+  }
   return 0;
 }

@@ -1,0 +1,77 @@
+// Fletcher-32 checksums for ABFT-style integrity checks.
+//
+// Used by the fault-tolerant collectives (per-hop payload verification:
+// a bit-flipped message is detected by the receiver and retransmitted)
+// and by the Schwarz preconditioner's packed-matrix checksums (a
+// persistent corruption of the half-precision gauge/clover blocks is
+// caught by re-verifying the pack-time checksum instead of silently
+// degrading convergence).
+//
+// Fletcher-32 over 16-bit little-endian words with both running sums
+// reduced mod 65535; an odd trailing byte is zero-padded. Position
+// sensitivity (the second sum) catches transpositions as well as
+// single-bit flips, at a cost of two adds per word — cheap enough to run
+// at pack/message granularity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lqcd {
+
+/// Incremental Fletcher-32 accumulator: feed byte ranges with update(),
+/// read the checksum with value(). Byte-stream semantics are independent
+/// of how the stream is split across update() calls.
+class Fletcher32 {
+ public:
+  void update(const void* data, std::size_t bytes) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::size_t i = 0;
+    if (have_pending_ && bytes > 0) {
+      accumulate(static_cast<std::uint16_t>(
+          pending_ | (static_cast<std::uint16_t>(p[0]) << 8)));
+      have_pending_ = false;
+      i = 1;
+    }
+    for (; i + 1 < bytes; i += 2)
+      accumulate(static_cast<std::uint16_t>(
+          p[i] | (static_cast<std::uint16_t>(p[i + 1]) << 8)));
+    if (i < bytes) {
+      pending_ = p[i];
+      have_pending_ = true;
+    }
+  }
+
+  std::uint32_t value() const noexcept {
+    std::uint32_t a = sum1_;
+    std::uint32_t b = sum2_;
+    if (have_pending_) {
+      a = (a + pending_) % 65535u;
+      b = (b + a) % 65535u;
+    }
+    return (b << 16) | a;
+  }
+
+  void reset() noexcept { *this = Fletcher32{}; }
+
+ private:
+  void accumulate(std::uint16_t w) noexcept {
+    sum1_ = (sum1_ + w) % 65535u;
+    sum2_ = (sum2_ + sum1_) % 65535u;
+  }
+
+  std::uint32_t sum1_ = 0;
+  std::uint32_t sum2_ = 0;
+  std::uint16_t pending_ = 0;
+  bool have_pending_ = false;
+};
+
+/// One-shot convenience over a single byte range.
+inline std::uint32_t fletcher32_bytes(const void* data,
+                                      std::size_t bytes) noexcept {
+  Fletcher32 f;
+  f.update(data, bytes);
+  return f.value();
+}
+
+}  // namespace lqcd

@@ -22,9 +22,11 @@ double mem_stream_seconds(const knc::KncSpec& knc, double bytes,
 
 /// Expected extra wall time from node faults on a run that would take
 /// `healthy_seconds` on a fault-free cluster (expected-value model,
-/// deterministic — no sampling).
+/// deterministic — no sampling). `hop_seconds` is the per-hop latency of
+/// the proxy-tree collective, used when the measured rewire-cost model
+/// (f.rewire_hops > 0) replaces the flat recovery constant.
 double node_fault_overhead(const NodeFaultSpec& f, int nodes,
-                           double healthy_seconds,
+                           double healthy_seconds, double hop_seconds,
                            double* expected_failures) {
   double overhead = 0.0;
   // Straggler: the solver is bulk-synchronous, so one slowed node gates
@@ -42,7 +44,11 @@ double node_fault_overhead(const NodeFaultSpec& f, int nodes,
         f.checkpoint_interval_seconds > 0.0
             ? std::min(0.5 * f.checkpoint_interval_seconds, 0.5 * run)
             : 0.5 * run;
-    overhead += failures * (f.recovery_seconds + rework);
+    const double recovery =
+        f.rewire_hops > 0.0
+            ? f.rewire_hops * hop_seconds + f.rewire_rework_seconds
+            : f.recovery_seconds;
+    overhead += failures * (recovery + rework);
     if (expected_failures != nullptr) *expected_failures = failures;
   }
   return overhead;
@@ -188,7 +194,8 @@ ClusterResult ClusterSim::simulate_dd(const DDSolveSpec& spec,
   res.total_seconds =
       res.m.seconds + res.a.seconds + res.gs.seconds + res.other.seconds;
   res.fault_overhead_seconds = node_fault_overhead(
-      p_.faults, res.nodes, res.total_seconds, &res.expected_failures);
+      p_.faults, res.nodes, res.total_seconds,
+      p_.network.allreduce_latency_us * 1e-6, &res.expected_failures);
   res.total_seconds += res.fault_overhead_seconds;
   res.comm_mb_per_node = comm_bytes_per_iter * iters / 1e6 +
                          /* A halo, double half-spinors */ 0.0;
@@ -273,7 +280,8 @@ ClusterResult ClusterSim::simulate_nondd(const NonDDSolveSpec& spec,
   res.a = {per_iter * iters, flops_per_node * iters};
   res.total_seconds = per_iter * iters;
   res.fault_overhead_seconds = node_fault_overhead(
-      p_.faults, res.nodes, res.total_seconds, &res.expected_failures);
+      p_.faults, res.nodes, res.total_seconds,
+      p_.network.allreduce_latency_us * 1e-6, &res.expected_failures);
   res.total_seconds += res.fault_overhead_seconds;
   res.comm_mb_per_node = comm_bytes_per_iter * iters / 1e6;
   res.tflops_total =

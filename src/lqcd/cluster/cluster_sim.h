@@ -60,7 +60,17 @@ struct NodeFaultSpec {
   /// Mean time between failures of ONE node, hours. Zero disables the
   /// failure model. Expected failures over a run scale with node count.
   double node_mtbf_hours = 0.0;
-  double recovery_seconds = 0.0;  ///< respawn/rejoin cost per failure
+  /// Flat respawn/rejoin cost per failure — the legacy constant, used
+  /// only when rewire_hops == 0.
+  double recovery_seconds = 0.0;
+  /// Measured fault-tolerant-collective recovery (vnode tree emulation):
+  /// when rewire_hops > 0, each failure's recovery is charged as
+  ///   rewire_hops x per-hop latency + rewire_rework_seconds
+  /// instead of the flat recovery_seconds constant. Feed rewire_hops from
+  /// CollectiveStats::rewire_hops of a replayed dead-rank allreduce and
+  /// rewire_rework_seconds with the respawn work outside the collective.
+  double rewire_hops = 0.0;
+  double rewire_rework_seconds = 0.0;
   /// Application checkpoint period. A failure replays half an interval in
   /// expectation; zero means no checkpointing (half the run is lost).
   double checkpoint_interval_seconds = 0.0;

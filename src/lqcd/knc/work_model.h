@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "lqcd/knc/kernel_model.h"
 #include "lqcd/lattice/geometry.h"
@@ -159,6 +160,50 @@ inline KernelWork mr_iteration_work(const Coord& block,
   w.flops = block_schur_flops(block) + hv * 24.0 * 7.0;
   w.l2_bytes = bw.l2_bytes_per_schur;
   w.mem_bytes = 0;
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Collective (allreduce) traffic over the host-proxy tree (paper Sec. V).
+// ---------------------------------------------------------------------------
+
+/// Message/byte totals of one itemized-payload allreduce. These formulas
+/// mirror, hop for hop, the fault-free vnode emulation
+/// (lqcd::tree_allreduce) — tests assert the match — so paper-scale rank
+/// counts can be fed to the model with exact collective traffic.
+struct CollectiveWork {
+  double messages = 0;  ///< tree hops, up + down
+  double bytes = 0;     ///< itemized payload bytes over all hops
+  int depth = 0;        ///< tree depth (latency-critical path length)
+};
+
+/// Traffic of one allreduce over `ranks` virtual ranks on a complete
+/// fanout-ary proxy tree with itemized (rank, value) payloads of
+/// `entry_bytes` each: every non-root rank sends its subtree's entries up
+/// (sum of subtree sizes) and receives one result entry down.
+inline CollectiveWork allreduce_tree_work(int ranks, double entry_bytes,
+                                          int fanout = 2) noexcept {
+  CollectiveWork w;
+  if (ranks <= 1 || fanout < 1) return w;
+  std::vector<std::int64_t> subtree(static_cast<std::size_t>(ranks), 1);
+  for (int r = ranks - 1; r >= 1; --r)
+    subtree[static_cast<std::size_t>((r - 1) / fanout)] +=
+        subtree[static_cast<std::size_t>(r)];
+  double up_entries = 0;
+  for (int r = 1; r < ranks; ++r)
+    up_entries += static_cast<double>(subtree[static_cast<std::size_t>(r)]);
+  w.messages = 2.0 * (ranks - 1);
+  w.bytes = (up_entries + (ranks - 1)) * entry_bytes;
+  for (int r = ranks - 1; r > 0; r = (r - 1) / fanout) ++w.depth;
+  return w;
+}
+
+/// Fold collective traffic into a kernel descriptor: the communicating
+/// core streams the payloads through memory, so the bytes land in
+/// mem_bytes and the collective cost shows up in arithmetic_intensity.
+inline KernelWork add_collective_traffic(KernelWork w,
+                                         const CollectiveWork& c) noexcept {
+  w.mem_bytes += c.bytes;
   return w;
 }
 

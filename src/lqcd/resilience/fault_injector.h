@@ -14,16 +14,27 @@
 //   * kZeroField:     zero the entire field (a defective block solve /
 //     dropped message — the degenerate-direction breakdown class).
 //   * kGaugeBitFlip:  flip one bit of one gauge-link component.
+//   * kRankDeath:     a virtual rank stops responding mid-collective /
+//                     mid-exchange (node failure detected by timeout).
+//   * kMessageDrop:   one message is lost in the fabric (timeout +
+//                     retransmit with bounded backoff).
+//   * kMessageCorrupt: one message arrives bit-flipped (caught by the
+//                     Fletcher payload checksum, then retransmitted).
 //
-// Every fault site is drawn from the injector's own Rng, so a given
-// (seed, schedule) reproduces the same fault sequence regardless of
-// threading. Opportunities are counted at every hook invocation; faults
-// fire only inside the configured [first_opportunity, ...] window, with
-// the configured probability, until max_events is exhausted.
+// The last three are MESSAGE faults: they fire at communication hook
+// sites (maybe_fault) and are inert at field-corruption hooks, which only
+// note the opportunity. Every fault decision is drawn from the injector's
+// own Rng, so a given (seed, schedule) reproduces the same fault sequence
+// regardless of threading. Opportunities are counted at every hook
+// invocation; faults fire only inside the configured
+// [first_opportunity, ...] window, with the configured probability, until
+// max_events is exhausted. Each hook reports its FaultSite so coverage is
+// visible per site in FaultInjectorStats.
 #pragma once
 
 #include <bit>
 #include <cstdint>
+#include <type_traits>
 
 #include "lqcd/base/rng.h"
 #include "lqcd/gauge/gauge_field.h"
@@ -37,7 +48,48 @@ enum class FaultClass {
   kFp16Overflow,
   kZeroField,
   kGaugeBitFlip,
+  kRankDeath,
+  kMessageDrop,
+  kMessageCorrupt,
 };
+
+/// Message faults target the communication layer (collective hops, halo
+/// exchanges); they never fire at field-corruption hooks.
+inline constexpr bool is_message_fault(FaultClass c) noexcept {
+  return c == FaultClass::kRankDeath || c == FaultClass::kMessageDrop ||
+         c == FaultClass::kMessageCorrupt;
+}
+
+/// Hook sites an injector can be attached to, for the per-site coverage
+/// breakdown in FaultInjectorStats.
+enum class FaultSite {
+  kGeneric = 0,        ///< unattributed legacy hooks
+  kIterate,            ///< outer-solver iterate (CheckpointMonitor)
+  kSchwarzSweep,       ///< Schwarz sweep residual
+  kGaugeField,         ///< gauge-link storage
+  kTileDslash,         ///< tile/ SOA dslash output
+  kDistributedSolver,  ///< vnode distributed BiCGstab residual
+  kCollectiveHop,      ///< one hop of the proxy-tree allreduce
+  kHaloExchange,       ///< one halo-exchange message
+  kPackedMatrices,     ///< packed half/single gauge+clover blocks
+};
+
+inline constexpr int kNumFaultSites = 9;
+
+inline const char* to_string(FaultSite s) noexcept {
+  switch (s) {
+    case FaultSite::kGeneric: return "generic";
+    case FaultSite::kIterate: return "iterate";
+    case FaultSite::kSchwarzSweep: return "schwarz-sweep";
+    case FaultSite::kGaugeField: return "gauge-field";
+    case FaultSite::kTileDslash: return "tile-dslash";
+    case FaultSite::kDistributedSolver: return "distributed-solver";
+    case FaultSite::kCollectiveHop: return "collective-hop";
+    case FaultSite::kHaloExchange: return "halo-exchange";
+    case FaultSite::kPackedMatrices: return "packed-matrices";
+  }
+  return "?";
+}
 
 struct FaultInjectorConfig {
   FaultClass fault = FaultClass::kSpinorBitFlip;
@@ -54,6 +106,16 @@ struct FaultInjectorConfig {
 struct FaultInjectorStats {
   std::int64_t opportunities = 0;  ///< hook invocations seen
   std::int64_t events = 0;         ///< faults actually injected
+  /// Per-hook-site breakdown, indexed by FaultSite.
+  std::int64_t site_opportunities[kNumFaultSites] = {};
+  std::int64_t site_events[kNumFaultSites] = {};
+
+  std::int64_t opportunities_at(FaultSite s) const noexcept {
+    return site_opportunities[static_cast<int>(s)];
+  }
+  std::int64_t events_at(FaultSite s) const noexcept {
+    return site_events[static_cast<int>(s)];
+  }
 };
 
 class FaultInjector {
@@ -70,10 +132,24 @@ class FaultInjector {
     rng_ = Rng(config_.seed);
   }
 
+  /// Pure event-decision hook for message sites (collective hops, halo
+  /// messages): returns true iff a fault fires at this opportunity. The
+  /// caller interprets the configured FaultClass (drop / corrupt / death).
+  bool maybe_fault(FaultSite site) {
+    if (!should_fire(site)) return false;
+    record_event(site);
+    return true;
+  }
+
   /// Injection hook for fermion fields. Returns true iff a fault fired.
   template <class T>
-  bool maybe_corrupt(FermionField<T>& f) {
-    if (!should_fire() || f.size() == 0) return false;
+  bool maybe_corrupt(FermionField<T>& f,
+                     FaultSite site = FaultSite::kGeneric) {
+    if (is_message_fault(config_.fault)) {
+      note_opportunity(site);
+      return false;
+    }
+    if (!should_fire(site) || f.size() == 0) return false;
     switch (config_.fault) {
       case FaultClass::kZeroField:
         f.zero();
@@ -95,20 +171,29 @@ class FaultInjector {
         reals[idx] = flip_bit(reals[idx]);
         break;
       }
+      case FaultClass::kRankDeath:
+      case FaultClass::kMessageDrop:
+      case FaultClass::kMessageCorrupt:
+        return false;  // unreachable: guarded above
     }
-    ++stats_.events;
+    record_event(site);
     return true;
   }
 
   /// Injection hook for gauge fields: one bit of one link component.
   template <class T>
-  bool maybe_corrupt(GaugeField<T>& gauge) {
-    if (!should_fire()) return false;
+  bool maybe_corrupt(GaugeField<T>& gauge,
+                     FaultSite site = FaultSite::kGaugeField) {
+    if (is_message_fault(config_.fault)) {
+      note_opportunity(site);
+      return false;
+    }
+    if (!should_fire(site)) return false;
     const auto volume = gauge.geometry().volume();
-    const auto site = static_cast<std::int32_t>(
+    const auto site_idx = static_cast<std::int32_t>(
         rng_.uniform_u64(static_cast<std::uint64_t>(volume)));
     const int mu = static_cast<int>(rng_.uniform_u64(kNumDims));
-    auto& link = gauge.link(site, mu);
+    auto& link = gauge.link(site_idx, mu);
     const int i = static_cast<int>(rng_.uniform_u64(kNumColors));
     const int j = static_cast<int>(rng_.uniform_u64(kNumColors));
     if (rng_.uniform() < 0.5) {
@@ -118,13 +203,59 @@ class FaultInjector {
       link.m[i][j] = Complex<T>(link.m[i][j].real(),
                                 flip_bit(link.m[i][j].imag()));
     }
-    ++stats_.events;
+    record_event(site);
+    return true;
+  }
+
+  /// Injection hook for raw scalar storage (tile/ SOA fields, packed
+  /// half/single-precision matrix blocks): corrupts one element — or the
+  /// whole range for kZeroField — per the configured class. U is float,
+  /// double, or Half (binary16 storage scalar).
+  template <class U>
+  bool maybe_corrupt_reals(U* data, std::int64_t count, FaultSite site) {
+    if (is_message_fault(config_.fault)) {
+      note_opportunity(site);
+      return false;
+    }
+    if (!should_fire(site) || count <= 0 || data == nullptr) return false;
+    const auto idx = rng_.uniform_u64(static_cast<std::uint64_t>(count));
+    switch (config_.fault) {
+      case FaultClass::kZeroField:
+        for (std::int64_t i = 0; i < count; ++i) data[i] = U{};
+        break;
+      case FaultClass::kFp16Overflow:
+        if constexpr (std::is_same_v<U, Half>) {
+          data[idx] = float_to_half(1.0e6f);
+        } else {
+          data[idx] = static_cast<U>(half_round_trip(1.0e6f));
+        }
+        break;
+      case FaultClass::kSpinorBitFlip:
+      case FaultClass::kGaugeBitFlip:
+        data[idx] = flip_bit(data[idx]);
+        break;
+      case FaultClass::kRankDeath:
+      case FaultClass::kMessageDrop:
+      case FaultClass::kMessageCorrupt:
+        return false;  // unreachable: guarded above
+    }
+    record_event(site);
     return true;
   }
 
  private:
-  bool should_fire() {
-    const std::int64_t opportunity = stats_.opportunities++;
+  void note_opportunity(FaultSite site) noexcept {
+    ++stats_.opportunities;
+    ++stats_.site_opportunities[static_cast<int>(site)];
+  }
+  void record_event(FaultSite site) noexcept {
+    ++stats_.events;
+    ++stats_.site_events[static_cast<int>(site)];
+  }
+
+  bool should_fire(FaultSite site) {
+    const std::int64_t opportunity = stats_.opportunities;
+    note_opportunity(site);
     if (opportunity < config_.first_opportunity) return false;
     if (config_.max_events >= 0 && stats_.events >= config_.max_events)
       return false;
@@ -144,6 +275,13 @@ class FaultInjector {
                         : static_cast<int>(rng_.uniform_u64(64));
     return std::bit_cast<double>(std::bit_cast<std::uint64_t>(v) ^
                                  (std::uint64_t{1} << bit));
+  }
+  /// Half (binary16) storage scalar: flip one of its 16 bits.
+  std::uint16_t flip_bit(std::uint16_t v) {
+    const int bit = config_.bit >= 0 && config_.bit < 16
+                        ? config_.bit
+                        : static_cast<int>(rng_.uniform_u64(16));
+    return static_cast<std::uint16_t>(v ^ (std::uint16_t{1} << bit));
   }
 
   FaultInjectorConfig config_;

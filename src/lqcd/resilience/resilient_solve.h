@@ -95,7 +95,7 @@ class CheckpointMonitor final : public SolveMonitor<T> {
     }
     // Inject AFTER detection: the corruption is silent until the next
     // cycle's true-residual recompute exposes it.
-    if (injector_ != nullptr && injector_->maybe_corrupt(x))
+    if (injector_ != nullptr && injector_->maybe_corrupt(x, FaultSite::kIterate))
       ++stats_.injected;
     return rolled_back;
   }

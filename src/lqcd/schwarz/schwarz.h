@@ -138,6 +138,13 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
       }
     }
 
+    // ABFT pack-time checksums: one Fletcher-32 per domain over its
+    // packed links + clover (+inverse clover) bytes, re-verifiable via
+    // verify_checksums().
+    checksums_.resize(static_cast<std::size_t>(nd));
+    for (int d = 0; d < nd; ++d)
+      checksums_[static_cast<std::size_t>(d)] = compute_domain_checksum(d);
+
     // Face buffer offsets. One buffer per domain face; a packed
     // half-spinor is 12 reals (48 B in single precision) per site — the
     // paper's Fig. 3: four sites fit three cache lines.
@@ -205,6 +212,33 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
   void note_precision_fallback() noexcept { ++stats_.precision_fallbacks; }
   const SchwarzParams& params() const noexcept { return params_; }
   const DomainPartition& partition() const noexcept { return *part_; }
+
+  /// Pack-time Fletcher-32 checksum of domain d's packed matrices.
+  std::uint32_t domain_checksum(int d) const noexcept {
+    return checksums_[static_cast<std::size_t>(d)];
+  }
+
+  /// Re-verify every domain's packed gauge/clover bytes against the
+  /// pack-time checksum; returns the number of mismatching domains
+  /// (0 = storage intact). Full load-time integration is a follow-up —
+  /// this is the ABFT detection primitive.
+  int verify_checksums() const noexcept {
+    int bad = 0;
+    for (int d = 0; d < part_->num_domains(); ++d)
+      if (compute_domain_checksum(d) !=
+          checksums_[static_cast<std::size_t>(d)])
+        ++bad;
+    return bad;
+  }
+
+  /// Test hook: let `injector` corrupt the packed link storage in place
+  /// (FaultSite::kPackedMatrices) — the persistent-fault class the
+  /// checksums exist to catch. Returns true iff a fault fired.
+  bool corrupt_packed(FaultInjector& injector) {
+    return injector.maybe_corrupt_reals(
+        links_.data(), static_cast<std::int64_t>(links_.size()),
+        FaultSite::kPackedMatrices);
+  }
 
   /// Per-domain working-set bytes of links + clover (+inverse clover)
   /// storage — the quantity the paper fits into the 512 kB L2.
@@ -302,7 +336,7 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
       copy(*f[b], r);
       ++stats_.applications;
       if (params_.fault_injector != nullptr &&
-          params_.fault_injector->maybe_corrupt(r))
+          params_.fault_injector->maybe_corrupt(r, FaultSite::kSchwarzSweep))
         ++stats_.injected_faults;
     }
     r_ptrs_.resize(static_cast<std::size_t>(nrhs));
@@ -448,6 +482,18 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
           out_e[le].s[sp].c[c] =
               diag.s[sp].c[c] - 0.25f * out_e[le].s[sp].c[c];
     }
+  }
+
+  std::uint32_t compute_domain_checksum(int d) const noexcept {
+    const auto vd = static_cast<std::size_t>(part_->domain_volume());
+    const auto hv = static_cast<std::size_t>(part_->domain_half_volume());
+    Fletcher32 f;
+    f.update(link_ptr(d, 0, 0), vd * kNumDims * kSU3Reals * sizeof(S));
+    f.update(diag_e_ptr_const(d, 0, 0),
+             hv * 2 * kCloverBlockReals * sizeof(S));
+    f.update(inv_o_ptr_const(d, 0, 0),
+             hv * 2 * kCloverBlockReals * sizeof(S));
+    return f.value();
   }
 
   const S* diag_e_ptr_const(int d, std::int32_t le, int chi) const noexcept {
@@ -1141,6 +1187,7 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
   AlignedVector<S> links_;   // [domain][local][mu][18]
   AlignedVector<S> diag_e_;  // [domain][even local][chi][36]
   AlignedVector<S> inv_o_;   // [domain][odd local][chi][36]
+  std::vector<std::uint32_t> checksums_;  // pack-time ABFT, one per domain
 
   AlignedVector<float> buffers_;
   std::int64_t buffer_stride_ = 0;

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 
+#include "lqcd/base/checksum.h"
 #include "lqcd/linalg/fermion_field.h"
 #include "lqcd/linalg/fp16.h"
 #include "lqcd/su3/clover_block.h"
@@ -91,6 +92,16 @@ PackedHermitian6<float> load_block(const S* src) noexcept {
     b.offd[i] = Complex<float>(re, im);
   }
   return b;
+}
+
+/// ABFT seed (ROADMAP): Fletcher-32 over a packed-scalar range. Computed
+/// at pack time per domain and re-verified on demand, it catches the
+/// PERSISTENT corruption class — a bit-flipped half/single-precision
+/// gauge or clover block silently degrading convergence on every sweep —
+/// that the residual-divergence SDC detector cannot see.
+template <class S>
+std::uint32_t packed_checksum(const S* data, std::size_t count) noexcept {
+  return fletcher32_bytes(data, count * sizeof(S));
 }
 
 // ---------------------------------------------------------------------------

@@ -95,7 +95,8 @@ void reconstruct_add_lanes(CLane acc[kNumSpins][kNumColors],
 }  // namespace
 
 void tiled_block_dslash(const Coord& block, const TiledGauge& gauge,
-                        const TiledField& in, TiledField& out) {
+                        const TiledField& in, TiledField& out,
+                        FaultInjector* injector) {
   const int bz = block[2], bt = block[3];
   auto slice_of = [&](int z, int t) {
     return static_cast<std::int64_t>(z) +
@@ -178,6 +179,10 @@ void tiled_block_dslash(const Coord& block, const TiledGauge& gauge,
           }
       }
     }
+
+  if (injector != nullptr)
+    injector->maybe_corrupt_reals(out.data(), out.size_reals(),
+                                  FaultSite::kTileDslash);
 }
 
 }  // namespace lqcd

@@ -19,6 +19,7 @@
 // auto-vectorize; on the KNC each would be a single 512-bit instruction.
 #pragma once
 
+#include "lqcd/resilience/fault_injector.h"
 #include "lqcd/su3/gamma.h"
 #include "lqcd/tile/tiled_field.h"
 
@@ -241,7 +242,11 @@ inline HalfLanes mul_adj(const LinkLanes& u, const HalfLanes& h) noexcept {
 
 /// out = D_w(in) restricted to the block with Dirichlet boundaries (the
 /// Schwarz splitting's block-diagonal D applied to one domain).
+/// `injector` optionally corrupts the SOA output once per its schedule
+/// (FaultSite::kTileDslash) — the ROADMAP fault-coverage hook for the
+/// tile/ kernels; nullptr is the fault-free path.
 void tiled_block_dslash(const Coord& block, const TiledGauge& gauge,
-                        const TiledField& in, TiledField& out);
+                        const TiledField& in, TiledField& out,
+                        FaultInjector* injector = nullptr);
 
 }  // namespace lqcd

@@ -39,6 +39,14 @@ class TiledField {
     return const_cast<TiledField*>(this)->component(slice, tile, comp);
   }
 
+  /// Raw SOA storage view (all slices, tiles, components, lanes) — the
+  /// surface the fault-injection hook corrupts.
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+  std::int64_t size_reals() const noexcept {
+    return static_cast<std::int64_t>(data_.size());
+  }
+
   std::int64_t slice_index(int z, int t) const noexcept {
     return static_cast<std::int64_t>(z) +
            static_cast<std::int64_t>(block_[2]) * t;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "lqcd/dirac/wilson_clover.h"
+#include "lqcd/vnode/collectives.h"
 #include "lqcd/vnode/virtual_grid.h"
 
 namespace lqcd {
@@ -58,23 +59,26 @@ void gather(const VirtualGrid& grid, const DistributedField<T>& dist,
       global[grid.global_site(r, l)] = dist.rank(r)[l];
 }
 
-struct CommStats {
-  std::int64_t messages = 0;
-  std::int64_t bytes = 0;
-  std::int64_t allreduces = 0;
-  void reset() { *this = CommStats{}; }
-};
-
-/// Distributed dot product: per-rank partials, one (counted) allreduce.
+/// Distributed dot product: per-rank partials reduced over the
+/// fault-tolerant host-proxy tree (bit-identical to the historical
+/// trivial linear sum when no faults fire). A collective that cannot
+/// complete — retries exhausted or too many rank deaths — throws a
+/// structured Error; the caller's checkpoint/rollback path takes over.
 template <class T>
 std::complex<double> dot(const VirtualGrid& grid,
                          const DistributedField<T>& x,
-                         const DistributedField<T>& y, CommStats& comm) {
-  std::complex<double> acc(0, 0);
+                         const DistributedField<T>& y, CommStats& comm,
+                         const CollectiveConfig& collectives = {}) {
+  std::vector<std::complex<double>> parts(
+      static_cast<std::size_t>(grid.num_ranks()));
   for (int r = 0; r < grid.num_ranks(); ++r)
-    acc += dot(x.rank(r), y.rank(r));
-  ++comm.allreduces;
-  return acc;
+    parts[static_cast<std::size_t>(r)] = dot(x.rank(r), y.rank(r));
+  const auto res = tree_allreduce(parts, comm, collectives);
+  LQCD_CHECK_MSG(res.status == CollectiveStatus::kOk,
+                 "distributed dot: collective failed ("
+                     << to_string(res.status)
+                     << "); escalate to checkpoint/rollback");
+  return res.value;
 }
 
 template <class T>
@@ -112,6 +116,17 @@ class DistributedWilsonClover {
 
   const CommStats& comm() const noexcept { return comm_; }
   void reset_comm() noexcept { comm_.reset(); }
+
+  /// Attach a per-message fault site (FaultSite::kHaloExchange) to the
+  /// halo exchange. Drops and checksum-detected corruptions are
+  /// retransmitted up to `max_retries` times; a rank death (or retry
+  /// exhaustion) throws a structured Error — the signal for the
+  /// checkpoint/rollback path. nullptr restores fault-free exchanges.
+  void set_fault_injector(FaultInjector* injector,
+                          int max_retries = 3) noexcept {
+    injector_ = injector;
+    max_retries_ = max_retries;
+  }
 
   /// out = A in, with explicit halo exchange between the virtual ranks.
   void apply(const DistributedField<T>& in, DistributedField<T>& out) {
@@ -176,13 +191,62 @@ class DistributedWilsonClover {
         // neighbor (its backward-face buffer), and vice versa.
         const int rf = grid_->neighbor_rank(r, mu, Dir::kForward);
         const int rb = grid_->neighbor_rank(r, mu, Dir::kBackward);
-        buffer(recv_, r, mu, 0) = buffer(send_, rf, mu, 1);
-        buffer(recv_, r, mu, 1) = buffer(send_, rb, mu, 0);
-        comm_.messages += 2;
-        comm_.bytes += 2 *
-                       static_cast<std::int64_t>(grid_->face_size(mu)) * 12 *
-                       static_cast<std::int64_t>(sizeof(T));
+        const std::int64_t msg_bytes =
+            static_cast<std::int64_t>(grid_->face_size(mu)) * 12 *
+            static_cast<std::int64_t>(sizeof(T));
+        transfer(buffer(recv_, r, mu, 0), buffer(send_, rf, mu, 1),
+                 msg_bytes);
+        transfer(buffer(recv_, r, mu, 1), buffer(send_, rb, mu, 0),
+                 msg_bytes);
       }
+    ++comm_.halo_exchanges;
+  }
+
+  /// One point-to-point halo message, with the per-message fault site.
+  /// A drop times out and retransmits; a corruption is exposed by the
+  /// Fletcher-32 payload checksum travelling with the message and then
+  /// retransmits; a neighbor death cannot be rewired around (the face
+  /// data exists nowhere else) and throws for checkpoint/rollback.
+  void transfer(HalfBuffer& dst, const HalfBuffer& src,
+                std::int64_t msg_bytes) {
+    if (injector_ == nullptr || !is_message_fault(injector_->config().fault)) {
+      dst = src;
+      ++comm_.messages;
+      comm_.bytes += msg_bytes;
+      return;
+    }
+    const std::size_t payload_bytes = src.size() * sizeof(HalfSpinor<T>);
+    for (int attempt = 0;; ++attempt) {
+      ++comm_.messages;
+      comm_.bytes += msg_bytes;
+      if (attempt > 0) ++comm_.retransmits;
+      if (!injector_->maybe_fault(FaultSite::kHaloExchange)) {
+        dst = src;
+        return;
+      }
+      const FaultClass fc = injector_->config().fault;
+      if (fc == FaultClass::kRankDeath) {
+        ++comm_.rank_deaths;
+        LQCD_CHECK_MSG(false,
+                       "halo exchange: neighbor rank died mid-exchange; "
+                       "escalate to checkpoint/rollback");
+      }
+      if (fc == FaultClass::kMessageCorrupt && !src.empty()) {
+        // Deliver a bit-flipped copy and compare payload checksums.
+        dst = src;
+        auto* raw = reinterpret_cast<unsigned char*>(dst.data());
+        raw[0] ^= 1u;
+        const std::uint32_t sent =
+            fletcher32_bytes(src.data(), payload_bytes);
+        const std::uint32_t received =
+            fletcher32_bytes(dst.data(), payload_bytes);
+        if (received == sent) return;  // cannot happen for a 1-bit flip
+        // Detected: fall through to retransmit.
+      }
+      LQCD_CHECK_MSG(attempt < max_retries_,
+                     "halo exchange: retransmit budget exhausted; "
+                     "escalate to checkpoint/rollback");
+    }
   }
 
   void compute_all(const DistributedField<T>& in, DistributedField<T>& out) {
@@ -232,6 +296,8 @@ class DistributedWilsonClover {
   AlignedVector<SU3<T>> links_;
   std::vector<HalfBuffer> send_, recv_;
   CommStats comm_;
+  FaultInjector* injector_ = nullptr;
+  int max_retries_ = 3;
 };
 
 }  // namespace lqcd

@@ -20,12 +20,21 @@ struct DistributedSolveResult {
 };
 
 /// BiCGstab on the distributed operator. Mirrors bicgstab_solve()
-/// step for step; inner products go through the counted distributed dot.
+/// step for step; inner products go through the counted distributed dot,
+/// and every global reduction — the dots, the norms, and the BiCGstab
+/// `tt = |t|^2` sum — runs over the fault-tolerant proxy tree
+/// (bit-identical to the trivial sums when no faults fire; a collective
+/// that cannot complete throws a structured Error for the
+/// checkpoint/rollback path). `iterate_injector` optionally corrupts the
+/// recursive residual once per its schedule
+/// (FaultSite::kDistributedSolver), modelling SDC inside the distributed
+/// solve.
 template <class T>
 DistributedSolveResult<T> distributed_bicgstab(
     const VirtualGrid& grid, DistributedWilsonClover<T>& op,
     const DistributedField<T>& b, DistributedField<T>& x,
-    const BiCGstabParams& params) {
+    const BiCGstabParams& params, const CollectiveConfig& collectives = {},
+    FaultInjector* iterate_injector = nullptr) {
   DistributedSolveResult<T> res;
   SolverStats& stats = res.stats;
   CommStats& comm = res.comm;
@@ -45,11 +54,19 @@ DistributedSolveResult<T> distributed_bicgstab(
                        DistributedField<T>& dst) {
     for (int rr = 0; rr < nr; ++rr) copy(src.rank(rr), dst.rank(rr));
   };
+  auto dist_sum = [&](const std::vector<double>& parts) {
+    const auto red = tree_allreduce(parts, comm, collectives);
+    LQCD_CHECK_MSG(red.status == CollectiveStatus::kOk,
+                   "distributed bicgstab: collective failed ("
+                       << to_string(red.status)
+                       << "); escalate to checkpoint/rollback");
+    return red.value;
+  };
+  std::vector<double> parts(static_cast<std::size_t>(nr));
   auto dist_norm = [&](const DistributedField<T>& f) {
-    double acc = 0;
-    for (int rr = 0; rr < nr; ++rr) acc += norm2(f.rank(rr));
-    ++comm.allreduces;
-    return std::sqrt(acc);
+    for (int rr = 0; rr < nr; ++rr)
+      parts[static_cast<std::size_t>(rr)] = norm2(f.rank(rr));
+    return std::sqrt(dist_sum(parts));
   };
 
   op.apply(x, r);
@@ -63,7 +80,7 @@ DistributedSolveResult<T> distributed_bicgstab(
     stats.converged = true;
     return res;
   }
-  std::complex<double> rho = dot(grid, r0, r, comm);
+  std::complex<double> rho = dot(grid, r0, r, comm, collectives);
   double rnorm = dist_norm(r);
 
   for (int it = 0; it < params.max_iterations; ++it) {
@@ -72,18 +89,23 @@ DistributedSolveResult<T> distributed_bicgstab(
       stats.converged = true;
       break;
     }
+    if (iterate_injector != nullptr &&
+        iterate_injector->maybe_corrupt(r.rank(it % nr),
+                                        FaultSite::kDistributedSolver))
+      rnorm = dist_norm(r);
     op.apply(p, v);
     ++stats.matvecs;
-    const auto r0v = dot(grid, r0, v, comm);
+    const auto r0v = dot(grid, r0, v, comm, collectives);
     if (std::abs(r0v) == 0.0) break;
     const std::complex<double> alpha = rho / r0v;
     dist_copy(r, s);
     dist_axpy(-alpha, v, s);
     op.apply(s, t);
     ++stats.matvecs;
-    const auto ts = dot(grid, t, s, comm);
-    double tt = 0;
-    for (int rr = 0; rr < nr; ++rr) tt += norm2(t.rank(rr));
+    const auto ts = dot(grid, t, s, comm, collectives);
+    for (int rr = 0; rr < nr; ++rr)
+      parts[static_cast<std::size_t>(rr)] = norm2(t.rank(rr));
+    const double tt = dist_sum(parts);
     if (tt == 0.0) {
       dist_axpy(alpha, p, x);
       dist_copy(s, r);
@@ -96,7 +118,7 @@ DistributedSolveResult<T> distributed_bicgstab(
     dist_axpy(omega, s, x);
     dist_copy(s, r);
     dist_axpy(-omega, t, r);
-    const auto rho_new = dot(grid, r0, r, comm);
+    const auto rho_new = dot(grid, r0, r, comm, collectives);
     rnorm = dist_norm(r);
     if (std::abs(rho_new) == 0.0 || std::abs(omega) == 0.0) break;
     const std::complex<double> beta = (rho_new / rho) * (alpha / omega);

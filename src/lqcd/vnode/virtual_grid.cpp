@@ -1,6 +1,41 @@
 #include "lqcd/vnode/virtual_grid.h"
 
+#include <algorithm>
+
+#include "lqcd/base/error.h"
+
 namespace lqcd {
+
+ProxyTree::ProxyTree(int num_ranks, int fanout)
+    : num_ranks_(num_ranks), fanout_(fanout) {
+  LQCD_CHECK_MSG(num_ranks >= 1, "proxy tree needs >= 1 rank");
+  LQCD_CHECK_MSG(fanout >= 1, "proxy tree fanout must be >= 1");
+  const auto n = static_cast<std::size_t>(num_ranks);
+  parent_.resize(n);
+  level_.resize(n);
+  subtree_.assign(n, 1);
+  children_.resize(n);
+  parent_[0] = -1;
+  level_[0] = 0;
+  for (int r = 1; r < num_ranks; ++r) {
+    const int p = (r - 1) / fanout;
+    parent_[static_cast<std::size_t>(r)] = p;
+    level_[static_cast<std::size_t>(r)] =
+        level_[static_cast<std::size_t>(p)] + 1;
+    children_[static_cast<std::size_t>(p)].push_back(r);
+    depth_ = std::max(depth_, level_[static_cast<std::size_t>(r)]);
+  }
+  for (int r = num_ranks - 1; r >= 1; --r)
+    subtree_[static_cast<std::size_t>((r - 1) / fanout)] +=
+        subtree_[static_cast<std::size_t>(r)];
+  bottom_up_.reserve(n - 1);
+  for (int r = 1; r < num_ranks; ++r) bottom_up_.push_back(r);
+  std::stable_sort(bottom_up_.begin(), bottom_up_.end(),
+                   [&](int a, int b) {
+                     return level_[static_cast<std::size_t>(a)] >
+                            level_[static_cast<std::size_t>(b)];
+                   });
+}
 
 VirtualGrid::VirtualGrid(const Geometry& global, const Coord& grid)
     : global_(&global), grid_(grid) {

@@ -16,6 +16,52 @@
 
 namespace lqcd {
 
+/// Host-proxy reduction tree over the virtual ranks (paper Sec. V): the
+/// per-chip communicating core forwards partial sums up a k-ary heap tree
+/// rooted at rank 0 (the host proxy), then the result is broadcast back
+/// down. parent(r) = (r-1)/fanout — a complete tree, so depth is
+/// ceil(log_fanout) and every rank's position is implied by its index
+/// (survivors can rewire around a dead rank without any coordination).
+class ProxyTree {
+ public:
+  explicit ProxyTree(int num_ranks, int fanout = 2);
+
+  int num_ranks() const noexcept { return num_ranks_; }
+  int fanout() const noexcept { return fanout_; }
+  /// Levels below the root of the deepest rank (0 for a 1-rank tree).
+  int depth() const noexcept { return depth_; }
+
+  /// Parent rank; -1 for the root (rank 0).
+  int parent(int r) const noexcept {
+    return parent_[static_cast<std::size_t>(r)];
+  }
+  const std::vector<int>& children(int r) const noexcept {
+    return children_[static_cast<std::size_t>(r)];
+  }
+  int level(int r) const noexcept {
+    return level_[static_cast<std::size_t>(r)];
+  }
+  /// Ranks in r's subtree, including r itself — the itemized-entry count
+  /// of the upward message r sends.
+  int subtree_size(int r) const noexcept {
+    return subtree_[static_cast<std::size_t>(r)];
+  }
+
+  /// All non-root ranks ordered deepest level first (by rank within a
+  /// level): the upward-pass send schedule. Processing senders in this
+  /// order guarantees a rank has received all its children's payloads
+  /// before it sends, and that every sender's parent is still pending.
+  const std::vector<int>& bottom_up() const noexcept { return bottom_up_; }
+
+ private:
+  int num_ranks_ = 0;
+  int fanout_ = 2;
+  int depth_ = 0;
+  std::vector<int> parent_, level_, subtree_;
+  std::vector<std::vector<int>> children_;
+  std::vector<int> bottom_up_;
+};
+
 class VirtualGrid {
  public:
   /// Each global dimension must be divisible by grid[mu]; the local
