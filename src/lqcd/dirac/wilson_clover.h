@@ -73,7 +73,8 @@ class WilsonCloverOperator {
   void apply_dslash(const FermionField<T>& in, FermionField<T>& out) const {
     const auto volume = geom_->volume();
     LQCD_CHECK(in.size() == volume && out.size() == volume);
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(volume, in, out)
     for (std::int32_t x = 0; x < static_cast<std::int32_t>(volume); ++x)
       out[x] = dslash_site(*geom_, *gauge_, in, x,
                            [](std::int32_t i) { return i; });
@@ -85,7 +86,8 @@ class WilsonCloverOperator {
     const auto volume = geom_->volume();
     LQCD_CHECK(in.size() == volume && out.size() == volume);
     const T half = T(0.5);
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(volume, in, out, half)
     for (std::int32_t x = 0; x < static_cast<std::int32_t>(volume); ++x) {
       const Spinor<T> hop = dslash_site(*geom_, *gauge_, in, x,
                                         [](std::int32_t i) { return i; });
@@ -106,7 +108,8 @@ class WilsonCloverOperator {
     const auto half = cb_->half_volume();
     LQCD_CHECK(in_cb.size() == half && out_cb.size() == half);
     const auto& sites = cb_->sites(out_parity);
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(half, sites, in_cb, out_cb)
     for (std::int64_t i = 0; i < half; ++i) {
       const std::int32_t x = sites[static_cast<std::size_t>(i)];
       out_cb[i] = dslash_site(
@@ -122,7 +125,8 @@ class WilsonCloverOperator {
     const auto half = cb_->half_volume();
     LQCD_CHECK(in_cb.size() == half && out_cb.size() == half);
     const auto& sites = cb_->sites(parity);
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(half, sites, in_cb, out_cb)
     for (std::int64_t i = 0; i < half; ++i)
       clover_.apply_site(sites[static_cast<std::size_t>(i)], in_cb[i],
                          out_cb[i]);
@@ -137,7 +141,8 @@ class WilsonCloverOperator {
     const auto half = cb_->half_volume();
     LQCD_CHECK(in_cb.size() == half && out_cb.size() == half);
     const auto& sites = cb_->sites(parity);
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(half, sites, in_cb, out_cb)
     for (std::int64_t i = 0; i < half; ++i)
       clover_.apply_inv_site(sites[static_cast<std::size_t>(i)], in_cb[i],
                              out_cb[i]);
@@ -157,7 +162,8 @@ class WilsonCloverOperator {
     apply_dslash_cb(/*out_parity=*/0, tmp_o2, hop_e); // D_eo ...
     apply_diag_cb(0, in_e, out_e);                    // A_ee in_e
     const T quarter = T(0.25);
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(half, quarter, hop_e, out_e)
     for (std::int64_t i = 0; i < half; ++i)
       for (int sp = 0; sp < kNumSpins; ++sp)
         for (int c = 0; c < kNumColors; ++c)
@@ -195,7 +201,8 @@ class WilsonCloverOperator {
     apply_diag_inv_cb(1, f_o, tmp);
     apply_dslash_cb(0, tmp, hop);
     const T hf = T(0.5);
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(half, hf, f_e, hop, fe_tilde)
     for (std::int64_t i = 0; i < half; ++i)
       for (int sp = 0; sp < kNumSpins; ++sp)
         for (int c = 0; c < kNumColors; ++c)
@@ -211,7 +218,8 @@ class WilsonCloverOperator {
     FermionField<T> hop(half), rhs(half);
     apply_dslash_cb(1, u_e, hop);
     const T hf = T(0.5);
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(half, hf, f_o, hop, rhs)
     for (std::int64_t i = 0; i < half; ++i)
       for (int sp = 0; sp < kNumSpins; ++sp)
         for (int c = 0; c < kNumColors; ++c)
@@ -238,7 +246,8 @@ template <class T>
 void apply_gamma5(const FermionField<T>& in, FermionField<T>& out) {
   LQCD_CHECK(in.size() == out.size());
   const std::int64_t n = in.size();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(n, in, out, kGamma5)
   for (std::int64_t i = 0; i < n; ++i) out[i] = apply(kGamma5, in[i]);
 }
 

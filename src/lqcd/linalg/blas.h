@@ -22,7 +22,7 @@ template <class T>
 void copy(const FermionField<T>& x, FermionField<T>& y) {
   LQCD_CHECK(x.size() == y.size());
   const std::int64_t n = x.size();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) shared(n, x, y)
   for (std::int64_t i = 0; i < n; ++i) y[i] = x[i];
 }
 
@@ -32,7 +32,7 @@ template <class TSrc, class TDst>
 void convert(const FermionField<TSrc>& x, FermionField<TDst>& y) {
   LQCD_CHECK(x.size() == y.size());
   const std::int64_t n = x.size();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) shared(n, x, y)
   for (std::int64_t i = 0; i < n; ++i)
     for (int sp = 0; sp < kNumSpins; ++sp)
       for (int c = 0; c < kNumColors; ++c)
@@ -46,7 +46,7 @@ template <class T>
 void axpy(const Complex<T>& a, const FermionField<T>& x, FermionField<T>& y) {
   LQCD_CHECK(x.size() == y.size());
   const std::int64_t n = x.size();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) shared(n, a, x, y)
   for (std::int64_t i = 0; i < n; ++i)
     for (int sp = 0; sp < kNumSpins; ++sp)
       for (int c = 0; c < kNumColors; ++c)
@@ -64,7 +64,8 @@ void axpyz(const Complex<T>& a, const FermionField<T>& x,
            const FermionField<T>& y, FermionField<T>& z) {
   LQCD_CHECK(x.size() == y.size() && y.size() == z.size());
   const std::int64_t n = x.size();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(n, a, x, y, z)
   for (std::int64_t i = 0; i < n; ++i)
     for (int sp = 0; sp < kNumSpins; ++sp)
       for (int c = 0; c < kNumColors; ++c)
@@ -75,7 +76,7 @@ void axpyz(const Complex<T>& a, const FermionField<T>& x,
 template <class T>
 void scal(const Complex<T>& a, FermionField<T>& x) {
   const std::int64_t n = x.size();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) shared(n, a, x)
   for (std::int64_t i = 0; i < n; ++i)
     for (int sp = 0; sp < kNumSpins; ++sp)
       for (int c = 0; c < kNumColors; ++c) x[i].s[sp].c[c] *= a;
@@ -92,7 +93,8 @@ std::complex<double> dot(const FermionField<T>& x, const FermionField<T>& y) {
   LQCD_CHECK(x.size() == y.size());
   const std::int64_t n = x.size();
   double re = 0, im = 0;
-#pragma omp parallel for schedule(static) reduction(+ : re, im)
+#pragma omp parallel for schedule(static) default(none) shared(n, x, y) \
+    reduction(+ : re, im)
   for (std::int64_t i = 0; i < n; ++i) {
     for (int sp = 0; sp < kNumSpins; ++sp)
       for (int c = 0; c < kNumColors; ++c) {
@@ -112,7 +114,8 @@ template <class T>
 double norm2(const FermionField<T>& x) {
   const std::int64_t n = x.size();
   double acc = 0;
-#pragma omp parallel for schedule(static) reduction(+ : acc)
+#pragma omp parallel for schedule(static) default(none) shared(n, x) \
+    reduction(+ : acc)
   for (std::int64_t i = 0; i < n; ++i) acc += norm2(x[i]);
   return acc;
 }
@@ -129,7 +132,8 @@ template <class T>
 bool all_finite(const FermionField<T>& x) {
   const std::int64_t n = x.size();
   int bad = 0;
-#pragma omp parallel for schedule(static) reduction(+ : bad)
+#pragma omp parallel for schedule(static) default(none) shared(n, x) \
+    reduction(+ : bad)
   for (std::int64_t i = 0; i < n; ++i)
     for (int sp = 0; sp < kNumSpins; ++sp)
       for (int c = 0; c < kNumColors; ++c) {
@@ -146,7 +150,8 @@ void sub(const FermionField<T>& x, const FermionField<T>& y,
          FermionField<T>& z) {
   LQCD_CHECK(x.size() == y.size() && y.size() == z.size());
   const std::int64_t n = x.size();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(n, x, y, z)
   for (std::int64_t i = 0; i < n; ++i) z[i] = x[i] - y[i];
 }
 

@@ -35,6 +35,7 @@
 #include <bit>
 #include <cstdint>
 #include <type_traits>
+#include <vector>
 
 #include "lqcd/base/rng.h"
 #include "lqcd/gauge/gauge_field.h"
@@ -72,9 +73,10 @@ enum class FaultSite {
   kCollectiveHop,      ///< one hop of the proxy-tree allreduce
   kHaloExchange,       ///< one halo-exchange message
   kPackedMatrices,     ///< packed half/single gauge+clover blocks
+  kDomainSolve,        ///< one domain visit inside a parallel Schwarz sweep
 };
 
-inline constexpr int kNumFaultSites = 9;
+inline constexpr int kNumFaultSites = 10;
 
 inline const char* to_string(FaultSite s) noexcept {
   switch (s) {
@@ -87,8 +89,15 @@ inline const char* to_string(FaultSite s) noexcept {
     case FaultSite::kCollectiveHop: return "collective-hop";
     case FaultSite::kHaloExchange: return "halo-exchange";
     case FaultSite::kPackedMatrices: return "packed-matrices";
+    case FaultSite::kDomainSolve: return "domain-solve";
   }
   return "?";
+}
+
+/// Sites whose hooks are pure event decisions (maybe_fault) rather than
+/// field corruptions; at these the fault CLASS gate is the caller's job.
+inline constexpr bool is_message_site(FaultSite s) noexcept {
+  return s == FaultSite::kCollectiveHop || s == FaultSite::kHaloExchange;
 }
 
 struct FaultInjectorConfig {
@@ -116,7 +125,26 @@ struct FaultInjectorStats {
   std::int64_t events_at(FaultSite s) const noexcept {
     return site_events[static_cast<int>(s)];
   }
+
+  /// Merge another shard's counters, preserving the per-site
+  /// opportunity/event breakdown — the per-thread injector shards of a
+  /// ParallelFaultScope are combined with exactly this.
+  FaultInjectorStats& operator+=(const FaultInjectorStats& o) noexcept {
+    opportunities += o.opportunities;
+    events += o.events;
+    for (int s = 0; s < kNumFaultSites; ++s) {
+      site_opportunities[s] += o.site_opportunities[s];
+      site_events[s] += o.site_events[s];
+    }
+    return *this;
+  }
 };
+
+inline FaultInjectorStats operator+(FaultInjectorStats a,
+                                    const FaultInjectorStats& b) noexcept {
+  a += b;
+  return a;
+}
 
 class FaultInjector {
  public:
@@ -130,6 +158,7 @@ class FaultInjector {
   void reset() noexcept {
     stats_ = FaultInjectorStats{};
     rng_ = Rng(config_.seed);
+    scope_epochs_ = 0;
   }
 
   /// Pure event-decision hook for message sites (collective hops, halo
@@ -262,31 +291,199 @@ class FaultInjector {
     return config_.probability >= 1.0 || rng_.uniform() < config_.probability;
   }
 
-  float flip_bit(float v) {
-    const int bit = config_.bit >= 0 && config_.bit < 32
-                        ? config_.bit
-                        : static_cast<int>(rng_.uniform_u64(32));
+  float flip_bit(float v) { return flip_bit_with(rng_, config_.bit, v); }
+  double flip_bit(double v) { return flip_bit_with(rng_, config_.bit, v); }
+  std::uint16_t flip_bit(std::uint16_t v) {
+    return flip_bit_with(rng_, config_.bit, v);
+  }
+
+  static float flip_bit_with(Rng& rng, int cfg_bit, float v) noexcept {
+    const int bit = cfg_bit >= 0 && cfg_bit < 32
+                        ? cfg_bit
+                        : static_cast<int>(rng.uniform_u64(32));
     return std::bit_cast<float>(std::bit_cast<std::uint32_t>(v) ^
                                 (std::uint32_t{1} << bit));
   }
-  double flip_bit(double v) {
-    const int bit = config_.bit >= 0 && config_.bit < 64
-                        ? config_.bit
-                        : static_cast<int>(rng_.uniform_u64(64));
+  static double flip_bit_with(Rng& rng, int cfg_bit, double v) noexcept {
+    const int bit = cfg_bit >= 0 && cfg_bit < 64
+                        ? cfg_bit
+                        : static_cast<int>(rng.uniform_u64(64));
     return std::bit_cast<double>(std::bit_cast<std::uint64_t>(v) ^
                                  (std::uint64_t{1} << bit));
   }
   /// Half (binary16) storage scalar: flip one of its 16 bits.
-  std::uint16_t flip_bit(std::uint16_t v) {
-    const int bit = config_.bit >= 0 && config_.bit < 16
-                        ? config_.bit
-                        : static_cast<int>(rng_.uniform_u64(16));
+  static std::uint16_t flip_bit_with(Rng& rng, int cfg_bit,
+                                     std::uint16_t v) noexcept {
+    const int bit = cfg_bit >= 0 && cfg_bit < 16
+                        ? cfg_bit
+                        : static_cast<int>(rng.uniform_u64(16));
     return static_cast<std::uint16_t>(v ^ (std::uint16_t{1} << bit));
   }
+
+  friend class ParallelFaultScope;
 
   FaultInjectorConfig config_;
   Rng rng_;
   FaultInjectorStats stats_;
+  std::int64_t scope_epochs_ = 0;  ///< ParallelFaultScopes opened so far
+};
+
+/// Blessed thread-safe fault-hook API for OpenMP regions.
+///
+/// The serial FaultInjector hooks mutate a shared RNG and shared counters
+/// and therefore MUST NOT be called from inside `omp parallel` regions
+/// (tools/lqcd_lint.py enforces this). A ParallelFaultScope is the
+/// race-free alternative for loops whose trip count is known up front —
+/// e.g. the Schwarz sweep over the domains of one color:
+///
+///   * Construction (serial, before the region) pre-draws the fire
+///     decision of every opportunity key in [0, num_keys), in key order,
+///     from the injector's own RNG stream, honoring `probability`,
+///     `first_opportunity` (against the injector's global opportunity
+///     counter), and the `max_events` budget exactly as the serial hooks
+///     would. The fault pattern is therefore a pure function of
+///     (seed, schedule, key) — identical for ANY thread count or
+///     iteration interleaving.
+///   * Inside the region, thread `tid` calls maybe_corrupt_reals /
+///     maybe_fault with its unique key. Corruption randomness (element,
+///     bit) comes from a per-key forked RNG, never from shared state, and
+///     counters accumulate in cache-line-padded per-thread shards. Hooks
+///     are lock-free: no atomics, no mutexes.
+///   * merge() (serial, at region exit — also run by the destructor)
+///     folds the shards into the injector's FaultInjectorStats via the
+///     commutative FaultInjectorStats::operator+=, so the merged counters
+///     are deterministic and exactly equal across thread counts
+///     (tests/test_thread_safety.cpp asserts this contract).
+///
+/// Each key must be visited at most once; serial injector hooks must not
+/// run between construction and merge() (the pre-drawn budget assumes
+/// the event counter is frozen for the scope's lifetime).
+class ParallelFaultScope {
+ public:
+  /// Padded per-thread counter slot: one cache line per thread, so hot
+  /// hooks never false-share.
+  struct alignas(64) Shard {
+    FaultInjectorStats stats;
+  };
+
+  /// `injector` may be nullptr: the scope is inert and every hook
+  /// returns false without recording anything.
+  ParallelFaultScope(FaultInjector* injector, FaultSite site,
+                     std::int64_t num_keys, int num_threads)
+      : injector_(injector), site_(site) {
+    if (injector_ == nullptr || num_keys <= 0) return;
+    shards_.resize(
+        static_cast<std::size_t>(num_threads > 0 ? num_threads : 1));
+    fire_.assign(static_cast<std::size_t>(num_keys), 0);
+    epoch_ = injector_->scope_epochs_++;
+    const FaultInjectorConfig& cfg = injector_->config_;
+    // A corruption site is inert for message fault classes (mirrors the
+    // serial maybe_corrupt* hooks): opportunities count, nothing fires,
+    // no RNG draws.
+    if (!is_message_site(site) && is_message_fault(cfg.fault)) return;
+    const std::int64_t base_opportunity = injector_->stats_.opportunities;
+    const std::int64_t base_events = injector_->stats_.events;
+    std::int64_t fired = 0;
+    for (std::int64_t k = 0; k < num_keys; ++k) {
+      if (base_opportunity + k < cfg.first_opportunity) continue;
+      if (cfg.max_events >= 0 && base_events + fired >= cfg.max_events)
+        continue;
+      if (cfg.probability >= 1.0 ||
+          injector_->rng_.uniform() < cfg.probability) {
+        fire_[static_cast<std::size_t>(k)] = 1;
+        ++fired;
+      }
+    }
+  }
+
+  ~ParallelFaultScope() { merge(); }
+
+  ParallelFaultScope(const ParallelFaultScope&) = delete;
+  ParallelFaultScope& operator=(const ParallelFaultScope&) = delete;
+
+  /// Pure event-decision hook (message sites). Thread-safe for distinct
+  /// (tid, key) pairs.
+  bool maybe_fault(int tid, std::int64_t key) noexcept {
+    if (shards_.empty()) return false;
+    note_opportunity(tid);
+    return fire_[static_cast<std::size_t>(key)] != 0;
+  }
+
+  /// Corruption hook for raw scalar storage, the parallel counterpart of
+  /// FaultInjector::maybe_corrupt_reals. U is float, double, or Half.
+  template <class U>
+  bool maybe_corrupt_reals(int tid, std::int64_t key, U* data,
+                           std::int64_t count) {
+    if (shards_.empty()) return false;
+    note_opportunity(tid);
+    if (fire_[static_cast<std::size_t>(key)] == 0 || count <= 0 ||
+        data == nullptr)
+      return false;
+    const FaultInjectorConfig& cfg = injector_->config_;
+    Rng sub = key_rng(cfg.seed, epoch_, key);
+    const auto idx = sub.uniform_u64(static_cast<std::uint64_t>(count));
+    switch (cfg.fault) {
+      case FaultClass::kZeroField:
+        for (std::int64_t i = 0; i < count; ++i) data[i] = U{};
+        break;
+      case FaultClass::kFp16Overflow:
+        if constexpr (std::is_same_v<U, Half>) {
+          data[idx] = float_to_half(1.0e6f);
+        } else {
+          data[idx] = static_cast<U>(half_round_trip(1.0e6f));
+        }
+        break;
+      case FaultClass::kSpinorBitFlip:
+      case FaultClass::kGaugeBitFlip:
+        data[idx] = FaultInjector::flip_bit_with(sub, cfg.bit, data[idx]);
+        break;
+      case FaultClass::kRankDeath:
+      case FaultClass::kMessageDrop:
+      case FaultClass::kMessageCorrupt:
+        return false;  // unreachable: such scopes pre-draw no fires
+    }
+    record_event(tid);
+    return true;
+  }
+
+  /// Fold the per-thread shards into the injector's counters. Serial;
+  /// idempotent (the destructor calls it too). Integer sums over a
+  /// partition of the keys, so the result is independent of which thread
+  /// visited which key.
+  void merge() noexcept {
+    if (injector_ == nullptr || merged_) return;
+    for (const Shard& sh : shards_) injector_->stats_ += sh.stats;
+    merged_ = true;
+  }
+
+ private:
+  void note_opportunity(int tid) noexcept {
+    FaultInjectorStats& st = shards_[static_cast<std::size_t>(tid)].stats;
+    ++st.opportunities;
+    ++st.site_opportunities[static_cast<int>(site_)];
+  }
+  void record_event(int tid) noexcept {
+    FaultInjectorStats& st = shards_[static_cast<std::size_t>(tid)].stats;
+    ++st.events;
+    ++st.site_events[static_cast<int>(site_)];
+  }
+
+  /// Independent per-key RNG: splitmix64 over (seed, epoch, key) so the
+  /// corruption detail (element, bit) is reproducible for any threading.
+  static Rng key_rng(std::uint64_t seed, std::int64_t epoch,
+                     std::int64_t key) noexcept {
+    std::uint64_t sm = seed;
+    sm ^= splitmix64(sm) + static_cast<std::uint64_t>(epoch);
+    sm ^= splitmix64(sm) + static_cast<std::uint64_t>(key);
+    return Rng(splitmix64(sm));
+  }
+
+  FaultInjector* injector_;
+  FaultSite site_;
+  std::int64_t epoch_ = 0;
+  std::vector<char> fire_;     ///< pre-drawn decision per key
+  std::vector<Shard> shards_;  ///< per-thread counter slots
+  bool merged_ = false;
 };
 
 }  // namespace lqcd

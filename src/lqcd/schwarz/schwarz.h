@@ -53,6 +53,14 @@ struct SchwarzParams {
   /// apply() (per the injector's own schedule), modelling SDC or fp16
   /// range exhaustion inside the preconditioner. nullptr = fault-free.
   FaultInjector* fault_injector = nullptr;
+  /// Optional PARALLEL fault-injection hook (FaultSite::kDomainSolve): one
+  /// opportunity per domain visit inside the OpenMP Schwarz sweeps, drawn
+  /// through a ParallelFaultScope so the fired pattern and all counters are
+  /// exactly independent of OMP_NUM_THREADS. A fired visit corrupts the
+  /// domain's freshly packed RHS-0 face buffers (the data the next halo
+  /// exchange consumes). Independent of `fault_injector` (which stays a
+  /// serial once-per-apply hook); nullptr = off.
+  FaultInjector* domain_fault_injector = nullptr;
   /// Process batched domain visits with the SOA-over-RHS lane kernels
   /// (paper Sec. VI): each packed matrix element is loaded once and
   /// applied to every RHS of the batch from registers, with lane-wise MR
@@ -188,20 +196,7 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
           ++hops_per_parity_;
       }
 
-    int nthreads = 1;
-#if defined(LQCD_HAVE_OPENMP)
-    nthreads = omp_get_max_threads();
-#endif
-    scratch_.resize(static_cast<std::size_t>(nthreads));
-    for (auto& sc : scratch_) {
-      sc.r_loc = FermionField<float>(vd);
-      sc.z = FermionField<float>(vd);
-      sc.rhs_e = FermionField<float>(hv);
-      sc.mr_r = FermionField<float>(hv);
-      sc.mr_ar = FermionField<float>(hv);
-      sc.t1_o = FermionField<float>(hv);
-      sc.t2_o = FermionField<float>(hv);
-    }
+    ensure_scratch();
     r_batch_.resize(1);  // residual(0) is addressable even before apply()
   }
 
@@ -309,10 +304,39 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
     }
   };
 
+  /// Grow the per-thread scratch pool to the CURRENT OpenMP thread limit.
+  /// The pool is sized at construction, but omp_set_num_threads() may raise
+  /// the limit afterwards; without this re-check the sweep loops would index
+  /// past the end of scratch_. Existing slots (and their warm buffers) are
+  /// kept; only the new tail is allocated. Never called from inside a
+  /// parallel region.
+  void ensure_scratch() {
+    int nthreads = 1;
+#if defined(LQCD_HAVE_OPENMP)
+    nthreads = omp_get_max_threads();
+#endif
+    if (static_cast<int>(scratch_.size()) >= nthreads) return;
+    const std::int32_t vd = part_->domain_volume();
+    const std::int32_t hv = part_->domain_half_volume();
+    const std::size_t old_size = scratch_.size();
+    scratch_.resize(static_cast<std::size_t>(nthreads));
+    for (std::size_t t = old_size; t < scratch_.size(); ++t) {
+      auto& sc = scratch_[t];
+      sc.r_loc = FermionField<float>(vd);
+      sc.z = FermionField<float>(vd);
+      sc.rhs_e = FermionField<float>(hv);
+      sc.mr_r = FermionField<float>(hv);
+      sc.mr_ar = FermionField<float>(hv);
+      sc.t1_o = FermionField<float>(hv);
+      sc.t2_o = FermionField<float>(hv);
+    }
+  }
+
   void apply_impl(int nrhs, const FermionField<float>* const* f,
                   FermionField<float>* const* u) {
     const auto volume = part_->geometry().volume();
     const int nd = part_->num_domains();
+    ensure_scratch();
     // Validate the WHOLE batch before touching any output: a RHS with a
     // mismatched lattice geometry must not leave earlier RHS half-updated.
     for (int b = 0; b < nrhs; ++b) {
@@ -344,20 +368,37 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
       r_ptrs_[static_cast<std::size_t>(b)] =
           &r_batch_[static_cast<std::size_t>(b)];
 
+    // Deterministic parallel fault hook: pre-draw one fire decision per
+    // domain VISIT (schwarz_iterations x num_domains keys, serial, from the
+    // injector's own RNG stream), then let the sweep threads consult the
+    // read-only decision table and record stats in per-thread shards. The
+    // fired pattern and every counter are a pure function of the injector
+    // seed and the visit schedule — exactly OMP_NUM_THREADS-invariant.
+    ParallelFaultScope domain_scope(
+        params_.domain_fault_injector, FaultSite::kDomainSolve,
+        static_cast<std::int64_t>(params_.schwarz_iterations) * nd,
+        static_cast<int>(scratch_.size()));
+    domain_scope_ = &domain_scope;
+    const std::int64_t n_black =
+        static_cast<std::int64_t>(part_->domains_of_color(0).size());
+
     for (int s = 0; s < params_.schwarz_iterations; ++s) {
       ++stats_.sweeps;
+      const std::int64_t visit_base = static_cast<std::int64_t>(s) * nd;
       if (params_.additive) {
-        sweep_all_domains(nrhs, u);
+        sweep_all_domains(nrhs, u, visit_base);
         apply_all_halo_updates(nrhs);
       } else {
         // Multiplicative: black phase, exchange, white phase, exchange.
-        sweep_color(0, nrhs, u);
+        sweep_color(0, nrhs, u, visit_base);
         apply_halo_updates(0, nrhs);
-        sweep_color(1, nrhs, u);
+        sweep_color(1, nrhs, u, visit_base + n_black);
         apply_halo_updates(1, nrhs);
       }
       (void)s;
     }
+    domain_scope_ = nullptr;
+    domain_scope.merge();  // fold per-thread shards into the injector stats
 
     for (auto& sc : scratch_) {
       stats_.block_solves += sc.stats.block_solves;
@@ -365,6 +406,7 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
       stats_.flops += sc.stats.flops;
       stats_.boundary_bytes += sc.stats.boundary_bytes;
       stats_.matrix_block_loads += sc.stats.matrix_block_loads;
+      stats_.injected_faults += sc.stats.injected_faults;
       sc.stats.reset();
     }
   }
@@ -1139,30 +1181,51 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
     }
   }
 
-  void sweep_color(int color, int nrhs, FermionField<float>* const* u) {
+  /// Visit one domain on the calling thread: block solve, then the (inert
+  /// when unarmed) deterministic parallel fault hook. A fired visit
+  /// corrupts the domain's packed RHS-0 face buffers — the data the
+  /// serial halo-update phase consumes next — and is charged to the
+  /// per-thread scratch stats so counters merge thread-count-invariantly.
+  void visit_domain(int d, int nrhs, FermionField<float>* const* u, int tid,
+                    std::int64_t visit_key) {
+    auto& sc = scratch_[static_cast<std::size_t>(tid)];
+    solve_domain_batch(d, nrhs, u, sc);
+    if (domain_scope_ != nullptr &&
+        domain_scope_->maybe_corrupt_reals(
+            tid, visit_key,
+            buffers_.data() + static_cast<std::size_t>(buffer_slot(0, d)) *
+                                  static_cast<std::size_t>(buffer_stride_),
+            buffer_stride_))
+      ++sc.stats.injected_faults;
+  }
+
+  void sweep_color(int color, int nrhs, FermionField<float>* const* u,
+                   std::int64_t visit_base) {
     const auto& list = part_->domains_of_color(color);
     const auto n = static_cast<std::int64_t>(list.size());
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(list, n, nrhs, u, visit_base)
     for (std::int64_t i = 0; i < n; ++i) {
       int tid = 0;
 #if defined(LQCD_HAVE_OPENMP)
       tid = omp_get_thread_num();
 #endif
-      solve_domain_batch(list[static_cast<std::size_t>(i)], nrhs, u,
-                         scratch_[static_cast<std::size_t>(tid)]);
+      visit_domain(list[static_cast<std::size_t>(i)], nrhs, u, tid,
+                   visit_base + i);
     }
   }
 
-  void sweep_all_domains(int nrhs, FermionField<float>* const* u) {
+  void sweep_all_domains(int nrhs, FermionField<float>* const* u,
+                         std::int64_t visit_base) {
     const std::int64_t n = part_->num_domains();
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(n, nrhs, u, visit_base)
     for (std::int64_t i = 0; i < n; ++i) {
       int tid = 0;
 #if defined(LQCD_HAVE_OPENMP)
       tid = omp_get_thread_num();
 #endif
-      solve_domain_batch(static_cast<int>(i), nrhs, u,
-                         scratch_[static_cast<std::size_t>(tid)]);
+      visit_domain(static_cast<int>(i), nrhs, u, tid, visit_base + i);
     }
   }
 
@@ -1203,6 +1266,9 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
   /// bridge; rebuilt at the start of every apply_impl().
   std::vector<const FermionField<float>*> r_ptrs_;
   std::vector<Scratch> scratch_;
+  /// Live only while apply_impl()'s sweep loop runs; points at the
+  /// stack-local ParallelFaultScope of the current application.
+  ParallelFaultScope* domain_scope_ = nullptr;
 };
 
 }  // namespace lqcd

@@ -104,6 +104,13 @@ void tiled_block_dslash(const Coord& block, const TiledGauge& gauge,
   };
   const XyTileLayout& layout = in.layout();
 
+  // Each (t, z, tile) iteration reads const inputs and writes only its own
+  // output slice, so the slice loop is embarrassingly parallel. The fault
+  // hook below stays OUTSIDE the region: it mutates the injector's RNG and
+  // counters, which are serial-only state (see ParallelFaultScope for the
+  // blessed in-region API).
+#pragma omp parallel for collapse(2) schedule(static) default(none) \
+    shared(bz, bt, slice_of, layout, gauge, in, out)
   for (int t = 0; t < bt; ++t)
     for (int z = 0; z < bz; ++z) {
       const std::int64_t slice = slice_of(z, t);

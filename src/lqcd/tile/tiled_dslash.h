@@ -245,6 +245,9 @@ inline HalfLanes mul_adj(const LinkLanes& u, const HalfLanes& h) noexcept {
 /// `injector` optionally corrupts the SOA output once per its schedule
 /// (FaultSite::kTileDslash) — the ROADMAP fault-coverage hook for the
 /// tile/ kernels; nullptr is the fault-free path.
+/// The (t, z) slice loop runs under OpenMP (disjoint output slices, so
+/// the result is bit-identical for any OMP_NUM_THREADS); the injector
+/// hook itself stays serial, after the join.
 void tiled_block_dslash(const Coord& block, const TiledGauge& gauge,
                         const TiledField& in, TiledField& out,
                         FaultInjector* injector = nullptr);

@@ -62,7 +62,28 @@ struct CommStats {
   std::int64_t rewire_hops = 0;     ///< hops replayed around dead ranks
   std::int64_t rank_deaths = 0;     ///< dead ranks detected and rewired
   void reset() { *this = CommStats{}; }
+
+  /// Commutative merge, so per-thread CommStats shards accumulated outside
+  /// a parallel region (the blessed pattern — see DESIGN.md "Concurrency &
+  /// static-analysis gates") fold into one total deterministically.
+  CommStats& operator+=(const CommStats& o) noexcept {
+    messages += o.messages;
+    bytes += o.bytes;
+    halo_exchanges += o.halo_exchanges;
+    allreduces += o.allreduces;
+    allreduce_messages += o.allreduce_messages;
+    allreduce_bytes += o.allreduce_bytes;
+    retransmits += o.retransmits;
+    rewire_hops += o.rewire_hops;
+    rank_deaths += o.rank_deaths;
+    return *this;
+  }
 };
+
+inline CommStats operator+(CommStats a, const CommStats& b) noexcept {
+  a += b;
+  return a;
+}
 
 enum class CollectiveStatus {
   kOk,

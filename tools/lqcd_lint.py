@@ -1,0 +1,323 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for the lattice-QCD DD codebase.
+
+Enforces invariants no generic tool knows about (see DESIGN.md
+"Concurrency & static-analysis gates"):
+
+  pragma-once          every header under src/ starts with #pragma once.
+  include-exists       every #include "lqcd/..." resolves under src/.
+  omp-include-guard    #include <omp.h> only inside an
+                       `#if defined(LQCD_HAVE_OPENMP)` block.
+  naked-alloc          no naked new/delete/malloc/free in src/ — buffers
+                       go through base/aligned.h or std containers.
+  simd-opaque-call     LQCD_PRAGMA_SIMD loop bodies must stay
+                       vectorizable: no opaque function calls, no throw.
+  parallel-fault-hook  no serial FaultInjector hooks or shared stats
+                       mutation inside `omp parallel` regions — only the
+                       blessed ParallelFaultScope / per-thread shard API.
+  ci-label-check       every ctest -L label referenced in ci.yml exists
+                       in tests/CMakeLists.txt or bench/CMakeLists.txt.
+
+Suppressions: tools/lint_suppressions.txt, one per line,
+    <rule>:<path>[:<line>]  # <justification>
+The justification is mandatory; an unjustified entry is itself an error.
+Exit status: 0 clean, 1 findings, 2 bad invocation/suppression file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# Calls considered transparent to the vectorizer inside LQCD_PRAGMA_SIMD
+# bodies: casts, tiny always-inlined lane helpers, and intrinsics-like
+# std math that gcc vectorizes.
+SIMD_CALL_WHITELIST = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "static_cast", "reinterpret_cast", "const_cast", "decltype",
+    "float", "double", "int", "Complex",
+    "fmaf", "fma", "fabsf", "fabs", "sqrtf", "sqrt", "min", "max",
+}
+
+CTEST_LABEL_RE = re.compile(r"ctest[^\n]*?-L\s+\"?([A-Za-z0-9_|]+)\"?")
+CALL_RE = re.compile(r"\b([A-Za-z_][A-Za-z0-9_]*)\s*\(")
+SERIAL_HOOK_RE = re.compile(
+    r"\b([A-Za-z_][A-Za-z0-9_]*)\s*(?:->|\.)\s*"
+    r"(maybe_fault|maybe_corrupt|maybe_corrupt_reals|should_fire|"
+    r"note_opportunity|record_event)\s*\(")
+SHARED_STATS_RE = re.compile(
+    r"(\+\+\s*stats_\s*\.|stats_\s*\.\s*\w+\s*(\+=|=|\+\+)|"
+    r"\+\+\s*comm_stats_\s*\.|comm_stats_\s*\.\s*\w+\s*(\+=|=|\+\+))")
+
+
+class Finding:
+    def __init__(self, rule: str, path: Path, line: int, msg: str):
+        self.rule = rule
+        self.path = path.relative_to(REPO)
+        self.line = line
+        self.msg = msg
+
+    def key(self) -> tuple:
+        return (self.rule, str(self.path), self.line)
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.msg}"
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments and string literals, preserving
+    line structure so reported line numbers stay correct."""
+    out, i, n = [], 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif c in "\"'":
+            q, j = c, i + 1
+            while j < n and text[j] != q:
+                j += 2 if text[j] == "\\" else 1
+            out.append(q + q)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def body_after(lines: list[str], start: int, max_lines: int = 400) -> list[int]:
+    """Line indices of the statement following `start` (a pragma line):
+    the brace-matched block, or until the first top-level ';'."""
+    depth, paren, opened, out = 0, 0, False, []
+    i = start + 1
+    while i < len(lines) and i <= start + max_lines:
+        line = lines[i]
+        out.append(i)
+        for ch in line:
+            if ch == "{":
+                depth += 1
+                opened = True
+            elif ch == "}":
+                depth -= 1
+                if opened and depth <= 0:
+                    return out
+            elif ch == "(":
+                paren += 1
+            elif ch == ")":
+                paren -= 1
+            elif (ch == ";" and not opened and depth == 0 and paren == 0):
+                # Statement end outside any parens/braces: a braceless
+                # single-statement body (the for-header ';'s sit inside
+                # its parens and don't trigger this).
+                return out
+        i += 1
+    return out
+
+
+def iter_source(globs: tuple[str, ...]) -> list[Path]:
+    files: list[Path] = []
+    for g in globs:
+        files.extend(sorted(SRC.rglob(g)))
+    return files
+
+
+def check_headers(findings: list[Finding]) -> None:
+    for path in iter_source(("*.h",)):
+        text = path.read_text()
+        code = strip_comments(text)
+        first = next((ln for ln in code.splitlines() if ln.strip()), "")
+        if first.strip() != "#pragma once":
+            line = 1 + code.splitlines().index(first) if first else 1
+            findings.append(Finding("pragma-once", path, line,
+                                    "header must start with #pragma once"))
+
+
+def check_includes(findings: list[Finding]) -> None:
+    inc_re = re.compile(r'#\s*include\s+"(lqcd/[^"]+)"')
+    for path in iter_source(("*.h", "*.cpp")):
+        for ln, line in enumerate(path.read_text().splitlines(), 1):
+            m = inc_re.search(line)
+            if m and not (SRC / m.group(1)).exists():
+                findings.append(Finding("include-exists", path, ln,
+                                        f'#include "{m.group(1)}" not found '
+                                        "under src/"))
+
+
+def check_omp_guard(findings: list[Finding]) -> None:
+    for path in iter_source(("*.h", "*.cpp")):
+        lines = strip_comments(path.read_text()).splitlines()
+        depth_omp = 0
+        for ln, line in enumerate(lines, 1):
+            s = line.strip()
+            if s.startswith("#if") :
+                depth_omp += 1 if "LQCD_HAVE_OPENMP" in s or depth_omp else 0
+                # Track nesting only once inside an OpenMP guard.
+                if "LQCD_HAVE_OPENMP" in s and depth_omp == 0:
+                    depth_omp = 1
+            elif s.startswith("#endif") and depth_omp:
+                depth_omp -= 1
+            if "<omp.h>" in s and not depth_omp:
+                findings.append(Finding(
+                    "omp-include-guard", path, ln,
+                    "#include <omp.h> outside #if defined(LQCD_HAVE_OPENMP)"))
+
+
+def check_naked_alloc(findings: list[Finding]) -> None:
+    pat = re.compile(r"(?<![\w.])(new\s+[A-Za-z_]|new\s*\[|delete\s|"
+                     r"delete\s*\[|malloc\s*\(|free\s*\(|posix_memalign)")
+    for path in iter_source(("*.h", "*.cpp")):
+        code = strip_comments(path.read_text())
+        for ln, line in enumerate(code.splitlines(), 1):
+            if pat.search(line):
+                findings.append(Finding(
+                    "naked-alloc", path, ln,
+                    "raw allocation — use base/aligned.h (AlignedVector) "
+                    "or a std container"))
+
+
+def check_simd_bodies(findings: list[Finding]) -> None:
+    for path in iter_source(("*.h", "*.cpp")):
+        lines = strip_comments(path.read_text()).splitlines()
+        for i, line in enumerate(lines):
+            if "LQCD_PRAGMA_SIMD" not in line or "define" in line:
+                continue
+            for j in body_after(lines, i, max_lines=60):
+                body_line = lines[j]
+                if re.search(r"\bthrow\b", body_line):
+                    findings.append(Finding(
+                        "simd-opaque-call", path, j + 1,
+                        "throw inside an LQCD_PRAGMA_SIMD loop body"))
+                for m in CALL_RE.finditer(body_line):
+                    name = m.group(1)
+                    if name not in SIMD_CALL_WHITELIST:
+                        findings.append(Finding(
+                            "simd-opaque-call", path, j + 1,
+                            f"opaque call '{name}()' inside an "
+                            "LQCD_PRAGMA_SIMD loop body defeats "
+                            "vectorization"))
+
+
+def check_parallel_fault_hooks(findings: list[Finding]) -> None:
+    pragma_re = re.compile(r"#\s*pragma\s+omp\s+parallel\b")
+    for path in iter_source(("*.h", "*.cpp")):
+        lines = strip_comments(path.read_text()).splitlines()
+        for i, line in enumerate(lines):
+            if not pragma_re.search(line):
+                continue
+            for j in body_after(lines, i):
+                body_line = lines[j]
+                for m in SERIAL_HOOK_RE.finditer(body_line):
+                    receiver = m.group(1)
+                    if "scope" in receiver.lower():
+                        continue  # blessed ParallelFaultScope receiver
+                    findings.append(Finding(
+                        "parallel-fault-hook", path, j + 1,
+                        f"serial fault hook '{receiver}->{m.group(2)}()' "
+                        "inside an omp parallel region — use "
+                        "ParallelFaultScope (resilience/fault_injector.h)"))
+                if SHARED_STATS_RE.search(body_line):
+                    findings.append(Finding(
+                        "parallel-fault-hook", path, j + 1,
+                        "shared stats member mutated inside an omp "
+                        "parallel region — accumulate into a per-thread "
+                        "shard and merge at region exit"))
+
+
+def check_ci_labels(findings: list[Finding]) -> None:
+    ci = REPO / ".github" / "workflows" / "ci.yml"
+    if not ci.exists():
+        return
+    known: set[str] = set()
+    label_re = re.compile(r'(?:lqcd_add_test\(\S+\s+|LABELS\s+)"?([A-Za-z0-9_;]+)"?\)?')
+    for cml in (REPO / "tests" / "CMakeLists.txt",
+                REPO / "bench" / "CMakeLists.txt"):
+        if cml.exists():
+            for m in label_re.finditer(cml.read_text()):
+                known.update(m.group(1).split(";"))
+    for ln, line in enumerate(ci.read_text().splitlines(), 1):
+        for m in CTEST_LABEL_RE.finditer(line):
+            for label in m.group(1).split("|"):
+                if label not in known:
+                    findings.append(Finding(
+                        "ci-label-check", ci, ln,
+                        f"ctest label '{label}' referenced in ci.yml is "
+                        "not registered in tests/ or bench/ "
+                        "CMakeLists.txt"))
+
+
+def load_suppressions(path: Path) -> tuple[list[tuple], int]:
+    entries: list[tuple] = []
+    errors = 0
+    if not path.exists():
+        return entries, errors
+    for ln, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "#" not in line or not line.split("#", 1)[1].strip():
+            print(f"{path.relative_to(REPO)}:{ln}: suppression without a "
+                  "justification", file=sys.stderr)
+            errors += 1
+            continue
+        spec = line.split("#", 1)[0].strip()
+        parts = spec.split(":")
+        rule = parts[0]
+        file_part = parts[1] if len(parts) > 1 else "*"
+        line_part = int(parts[2]) if len(parts) > 2 else None
+        entries.append((rule, file_part, line_part))
+    return entries, errors
+
+
+def suppressed(f: Finding, entries: list[tuple]) -> bool:
+    for rule, file_part, line_part in entries:
+        if rule not in ("*", f.rule):
+            continue
+        if file_part not in ("*", str(f.path)):
+            continue
+        if line_part is not None and line_part != f.line:
+            continue
+        return True
+    return False
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--suppressions",
+                    default=str(REPO / "tools" / "lint_suppressions.txt"))
+    args = ap.parse_args()
+
+    entries, supp_errors = load_suppressions(Path(args.suppressions))
+    if supp_errors:
+        return 2
+
+    findings: list[Finding] = []
+    check_headers(findings)
+    check_includes(findings)
+    check_omp_guard(findings)
+    check_naked_alloc(findings)
+    check_simd_bodies(findings)
+    check_parallel_fault_hooks(findings)
+    check_ci_labels(findings)
+
+    shown = [f for f in findings if not suppressed(f, entries)]
+    for f in sorted(shown, key=Finding.key):
+        print(f)
+    n_supp = len(findings) - len(shown)
+    print(f"lqcd_lint: {len(shown)} finding(s), {n_supp} suppressed",
+          file=sys.stderr)
+    return 1 if shown else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
