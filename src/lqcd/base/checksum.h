@@ -74,4 +74,11 @@ inline std::uint32_t fletcher32_bytes(const void* data,
   return f.value();
 }
 
+/// Typed convenience: checksum `count` elements of trivially-copyable T.
+template <class T>
+inline std::uint32_t fletcher32_range(const T* data,
+                                      std::size_t count) noexcept {
+  return fletcher32_bytes(data, count * sizeof(T));
+}
+
 }  // namespace lqcd

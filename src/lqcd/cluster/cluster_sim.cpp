@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "lqcd/resilience/resilient_solve.h"  // daly_checkpoint_interval
+
 namespace lqcd::cluster {
 
 namespace {
@@ -27,7 +29,8 @@ double mem_stream_seconds(const knc::KncSpec& knc, double bytes,
 /// (f.rewire_hops > 0) replaces the flat recovery constant.
 double node_fault_overhead(const NodeFaultSpec& f, int nodes,
                            double healthy_seconds, double hop_seconds,
-                           double* expected_failures) {
+                           double* expected_failures,
+                           double* effective_interval) {
   double overhead = 0.0;
   // Straggler: the solver is bulk-synchronous, so one slowed node gates
   // every phase barrier no matter how many healthy nodes surround it.
@@ -35,21 +38,30 @@ double node_fault_overhead(const NodeFaultSpec& f, int nodes,
     overhead += (f.straggler_slowdown - 1.0) * healthy_seconds;
   // Node failure: expected count over the (straggler-stretched) run; each
   // pays the recovery cost plus the rework since the last checkpoint —
-  // half an interval in expectation, or half the run without any.
+  // half an interval in expectation, or half the run without any. The
+  // interval is either configured or the Young/Daly optimum against the
+  // SYSTEM MTBF (any node's failure interrupts the bulk-synchronous run).
   if (f.node_mtbf_hours > 0.0 && nodes > 0) {
     const double run = healthy_seconds + overhead;
-    const double failures =
-        static_cast<double>(nodes) * run / (f.node_mtbf_hours * 3600.0);
-    const double rework =
-        f.checkpoint_interval_seconds > 0.0
-            ? std::min(0.5 * f.checkpoint_interval_seconds, 0.5 * run)
-            : 0.5 * run;
+    const double mtbf_sys = f.node_mtbf_hours * 3600.0 / nodes;
+    double interval = f.checkpoint_interval_seconds;
+    if (f.auto_tune_checkpoint_interval && f.checkpoint_cost_seconds > 0.0)
+      interval = daly_checkpoint_interval(f.checkpoint_cost_seconds,
+                                          mtbf_sys);
+    const double failures = run / mtbf_sys;
+    const double rework = interval > 0.0
+                              ? std::min(0.5 * interval, 0.5 * run)
+                              : 0.5 * run;
     const double recovery =
         f.rewire_hops > 0.0
             ? f.rewire_hops * hop_seconds + f.rewire_rework_seconds
             : f.recovery_seconds;
     overhead += failures * (recovery + rework);
+    // Checkpoint writes are paid whether or not anything fails.
+    if (interval > 0.0 && f.checkpoint_cost_seconds > 0.0)
+      overhead += run / interval * f.checkpoint_cost_seconds;
     if (expected_failures != nullptr) *expected_failures = failures;
+    if (effective_interval != nullptr) *effective_interval = interval;
   }
   return overhead;
 }
@@ -71,6 +83,7 @@ ClusterResult ClusterSim::simulate_dd(const DDSolveSpec& spec,
   const int cores = p_.knc.cores;
 
   double per_iter_m = 0, per_iter_a = 0, per_iter_gs = 0, per_iter_other = 0;
+  double per_iter_abft = 0;
   double flops_m = 0, flops_a = 0, flops_gs = 0, flops_other = 0;
   double comm_bytes_per_iter = 0;
   double load_weighted = 0;
@@ -170,6 +183,23 @@ ClusterResult ClusterSim::simulate_dd(const DDSolveSpec& spec,
     const double other_iter =
         mem_stream_seconds(p_.knc, other_bytes, p_.blas_bw_utilization);
 
+    // ---- ABFT: periodic packed-checksum sweeps --------------------------
+    // Every abft_verify_interval preconditioner applications, each core
+    // re-checksums its resident domains (both colors). The sweep is
+    // memory-bandwidth-bound streaming of the packed matrices; the charge
+    // is amortized to a per-iteration cost.
+    double abft_iter = 0;
+    if (spec.abft_verify_interval > 0 && nd > 0) {
+      const knc::KernelWork vw =
+          knc::checksum_verify_work(spec.block, spec.half_matrices);
+      const double verify_seconds =
+          kernel_.seconds_per_core(vw, knc::PrefetchMode::kL1L2);
+      const std::int64_t vrounds = (2 * nd + cores - 1) / cores;
+      abft_iter = static_cast<double>(vrounds) * verify_seconds *
+                  p_.base_jitter /
+                  static_cast<double>(spec.abft_verify_interval);
+    }
+
     // The slowest group gates every phase (bulk-synchronous solver).
     if (m_iter > per_iter_m) {
       per_iter_m = m_iter;
@@ -183,6 +213,7 @@ ClusterResult ClusterSim::simulate_dd(const DDSolveSpec& spec,
     flops_gs = std::max(flops_gs, gs_flops);
     per_iter_other = std::max(per_iter_other, other_iter);
     flops_other = std::max(flops_other, other_flops);
+    per_iter_abft = std::max(per_iter_abft, abft_iter);
   }
 
   const double iters = spec.outer_iterations;
@@ -191,11 +222,13 @@ ClusterResult ClusterSim::simulate_dd(const DDSolveSpec& spec,
   res.a = {per_iter_a * iters, flops_a * iters};
   res.gs = {per_iter_gs * iters, flops_gs * iters};
   res.other = {per_iter_other * iters, flops_other * iters};
-  res.total_seconds =
-      res.m.seconds + res.a.seconds + res.gs.seconds + res.other.seconds;
+  res.abft_verify_seconds = per_iter_abft * iters;
+  res.total_seconds = res.m.seconds + res.a.seconds + res.gs.seconds +
+                      res.other.seconds + res.abft_verify_seconds;
   res.fault_overhead_seconds = node_fault_overhead(
       p_.faults, res.nodes, res.total_seconds,
-      p_.network.allreduce_latency_us * 1e-6, &res.expected_failures);
+      p_.network.allreduce_latency_us * 1e-6, &res.expected_failures,
+      &res.effective_checkpoint_interval_seconds);
   res.total_seconds += res.fault_overhead_seconds;
   res.comm_mb_per_node = comm_bytes_per_iter * iters / 1e6 +
                          /* A halo, double half-spinors */ 0.0;
@@ -281,7 +314,8 @@ ClusterResult ClusterSim::simulate_nondd(const NonDDSolveSpec& spec,
   res.total_seconds = per_iter * iters;
   res.fault_overhead_seconds = node_fault_overhead(
       p_.faults, res.nodes, res.total_seconds,
-      p_.network.allreduce_latency_us * 1e-6, &res.expected_failures);
+      p_.network.allreduce_latency_us * 1e-6, &res.expected_failures,
+      &res.effective_checkpoint_interval_seconds);
   res.total_seconds += res.fault_overhead_seconds;
   res.comm_mb_per_node = comm_bytes_per_iter * iters / 1e6;
   res.tflops_total =

@@ -37,6 +37,10 @@ struct DDSolveSpec {
   /// Exchange boundary half-spinors in half precision (24 B/site instead
   /// of 48 B). The paper's 64^3x128 communication volumes match this mode.
   bool half_precision_boundaries = false;
+  /// ABFT: preconditioner applications between packed-checksum sweeps of
+  /// all resident domains (knc::checksum_verify_work per domain). Zero
+  /// disables the charge — the historical model.
+  int abft_verify_interval = 0;
 };
 
 /// Non-DD baseline description (plain double BiCGstab or the
@@ -74,6 +78,15 @@ struct NodeFaultSpec {
   /// Application checkpoint period. A failure replays half an interval in
   /// expectation; zero means no checkpointing (half the run is lost).
   double checkpoint_interval_seconds = 0.0;
+  /// Wall time to write one checkpoint. Zero keeps the historical model
+  /// (rework charged, writes free); nonzero charges run/interval writes.
+  double checkpoint_cost_seconds = 0.0;
+  /// Replace the fixed interval with the Young/Daly optimum
+  /// sqrt(2 C M_sys)-style interval computed from checkpoint_cost_seconds
+  /// and the SYSTEM MTBF (node MTBF / node count). Requires a nonzero
+  /// checkpoint_cost_seconds; the chosen interval is reported in
+  /// ClusterResult::effective_checkpoint_interval_seconds.
+  bool auto_tune_checkpoint_interval = false;
 };
 
 struct PhaseCost {
@@ -100,6 +113,12 @@ struct ClusterResult {
   /// added to total_seconds.
   double fault_overhead_seconds = 0;
   double expected_failures = 0;
+  /// Checkpoint period the fault model actually used: the configured
+  /// interval, or the Young/Daly optimum when auto-tuning is on.
+  double effective_checkpoint_interval_seconds = 0;
+  /// Wall time of the in-solve ABFT packed-checksum sweeps (included in
+  /// total_seconds; zero when DDSolveSpec::abft_verify_interval == 0).
+  double abft_verify_seconds = 0;
 
   double pct(const PhaseCost& c) const noexcept {
     return total_seconds > 0 ? 100.0 * c.seconds / total_seconds : 0.0;

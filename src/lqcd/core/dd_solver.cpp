@@ -1,6 +1,38 @@
 #include "lqcd/core/dd_solver.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "lqcd/base/checksum.h"
+
 namespace lqcd {
+
+namespace {
+
+/// Fletcher-32 over a recycled deflation subspace (basis vectors, the
+/// preconditioned images, and the projected Hessenberg): the
+/// check_deflation scope of the ABFT layer.
+std::uint32_t deflation_checksum(const DeflationSpace<double>& s) {
+  Fletcher32 f;
+  for (const auto& v : s.v) f.update(v.data(), v.size() * sizeof(Spinor<double>));
+  for (const auto& z : s.z) f.update(z.data(), z.size() * sizeof(Spinor<double>));
+  for (int r = 0; r < s.h.rows(); ++r)
+    for (int c = 0; c < s.h.cols(); ++c) {
+      const densela::Cplx e = s.h(r, c);
+      f.update(&e, sizeof(e));
+    }
+  return f.value();
+}
+
+/// All-lane structured failure for an unrepairable data-corruption ladder.
+SolverStats data_corruption_stats() {
+  SolverStats st;
+  st.converged = false;
+  st.breakdown = Breakdown::kDataCorruption;
+  return st;
+}
+
+}  // namespace
 
 DDSolver::DDSolver(const Geometry& geom, const GaugeField<double>& gauge,
                    double mass, double csw, const DDSolverConfig& config)
@@ -21,7 +53,10 @@ DDSolver::DDSolver(const Geometry& geom, const GaugeField<double>& gauge,
   sp.additive = config.additive_schwarz;
   sp.half_precision_spinors = config.half_precision_spinors;
   const ResilienceConfig& rc = config.resilience;
-  if (rc.enabled) sp.fault_injector = rc.schwarz_injector;
+  if (rc.enabled) {
+    sp.fault_injector = rc.schwarz_injector;
+    sp.packed_fault_injector = rc.packed_injector;
+  }
   Preconditioner<float>* inner = nullptr;
   if (config.half_precision_matrices) {
     schwarz_half_ =
@@ -32,6 +67,7 @@ DDSolver::DDSolver(const Geometry& geom, const GaugeField<double>& gauge,
       // when a half-precision sweep output goes non-finite.
       SchwarzParams sp_clean = sp;
       sp_clean.fault_injector = nullptr;
+      sp_clean.packed_fault_injector = nullptr;
       schwarz_single_ = std::make_unique<SchwarzPreconditioner<float>>(
           *part_, *op_f_, sp_clean);
     }
@@ -56,6 +92,38 @@ DDSolver::DDSolver(const Geometry& geom, const GaugeField<double>& gauge,
       monitor_ =
           std::make_unique<CheckpointMonitor<double>>(mc, rc.iterate_injector);
     }
+    if (rc.abft.enabled) {
+      AbftConfig ac = rc.abft;
+      if (ac.verify_interval == 0) {
+        // Young/Daly in application units: verify cost C against a packed
+        // -upset MTBF of 1/p applications. Falls back to the default
+        // period when no fault rate was supplied.
+        ac.verify_interval =
+            ac.fault_probability_per_application > 0.0
+                ? std::max<int>(
+                      1, static_cast<int>(std::llround(
+                             daly_checkpoint_interval(
+                                 ac.verify_cost_applications,
+                                 1.0 / ac.fault_probability_per_application))))
+                : AbftConfig{}.verify_interval;
+      }
+      abft_guard_ = std::make_unique<AbftGuard>(ac);
+      if (schwarz_half_) abft_guard_->add_store(schwarz_half_.get());
+      if (schwarz_single_) abft_guard_->add_store(schwarz_single_.get());
+      master_checksum_ = gauge.content_checksum();
+      abft_guard_->set_source_repair([this, master = &gauge]() -> bool {
+        if (master->content_checksum() != master_checksum_) return false;
+        // Rebuild the float source from the verified double master, the
+        // derived clover term from it, then re-pack every store.
+        *gauge_f_ = convert<float>(*master);
+        op_f_->rebuild_clover();
+        if (schwarz_half_) schwarz_half_->repack_all();
+        if (schwarz_single_) schwarz_single_->repack_all();
+        return true;
+      });
+      resilient_adapter_->set_abft_guard(abft_guard_.get());
+      if (monitor_) monitor_->set_abft_guard(abft_guard_.get());
+    }
   } else {
     adapter_ = std::make_unique<SchwarzPrecondAdapter>(*inner, geom.volume());
   }
@@ -76,12 +144,22 @@ FGMRESDRParams DDSolver::outer_params() const {
 SolverStats DDSolver::solve(const FermionField<double>& b,
                             FermionField<double>& x) {
   if (monitor_) monitor_->drop_checkpoint();
+  if (abft_guard_) abft_guard_->begin_solve();
   Preconditioner<double>* pre = resilient_adapter_
                                     ? static_cast<Preconditioner<double>*>(
                                           resilient_adapter_.get())
                                     : adapter_.get();
-  return fgmres_dr_solve<double>(*linop_, pre, b, x, outer_params(),
-                                 monitor_.get());
+  try {
+    SolverStats st = fgmres_dr_solve<double>(*linop_, pre, b, x,
+                                             outer_params(), monitor_.get());
+    // Closing sweep: corruption after the last periodic sweep must not
+    // survive into the next solve (or go unreported) — every upset is
+    // repaired or escalates before this call returns.
+    if (abft_guard_) abft_guard_->sweep();
+    return st;
+  } catch (const AbftError&) {
+    return data_corruption_stats();
+  }
 }
 
 std::vector<SolverStats> DDSolver::solve_batch(
@@ -100,65 +178,94 @@ std::vector<SolverStats> DDSolver::solve_batch(
   DeflationSpace<double> recycle;
   DeflationSpace<double>* rec = config_.deflation_size > 0 ? &recycle : nullptr;
 
-  // RHS 0 runs alone: its solve seeds the recycled deflation subspace the
-  // rest of the batch projects against. (With nrhs == 1 this path is the
-  // whole call and executes exactly what solve() executes.)
-  if (monitor_) monitor_->drop_checkpoint();
-  out[0] = fgmres_dr_solve<double>(*linop_, pre, b[0], x[0], p,
-                                   monitor_.get(), rec);
-  if (nrhs == 1) return out;
-
-  // Remaining RHS advance in lockstep. Each lane gets its own
-  // CheckpointMonitor (the checkpoint is per-iterate state); counters are
-  // merged back into the long-lived monitor afterwards.
-  const int nlanes = nrhs - 1;
-  std::vector<std::unique_ptr<CheckpointMonitor<double>>> lane_monitors(
-      static_cast<std::size_t>(nlanes));
-  std::vector<std::unique_ptr<FgmresDrEngine<double>>> lanes(
-      static_cast<std::size_t>(nlanes));
-  const ResilienceConfig& rc = config_.resilience;
-  for (int i = 0; i < nlanes; ++i) {
-    const auto li = static_cast<std::size_t>(i);
-    if (monitor_) {
-      CheckpointMonitorConfig mc;
-      mc.detect_ratio = rc.rollback_detect_ratio;
-      lane_monitors[li] = std::make_unique<CheckpointMonitor<double>>(
-          mc, rc.iterate_injector);
+  try {
+    // RHS 0 runs alone: its solve seeds the recycled deflation subspace the
+    // rest of the batch projects against. (With nrhs == 1 this path is the
+    // whole call and executes exactly what solve() executes.)
+    if (monitor_) monitor_->drop_checkpoint();
+    if (abft_guard_) abft_guard_->begin_solve();
+    out[0] = fgmres_dr_solve<double>(*linop_, pre, b[0], x[0], p,
+                                     monitor_.get(), rec);
+    if (nrhs == 1) {
+      if (abft_guard_) abft_guard_->sweep();
+      return out;
     }
-    lanes[li] = std::make_unique<FgmresDrEngine<double>>(
-        *linop_, b[static_cast<std::size_t>(i + 1)],
-        x[static_cast<std::size_t>(i + 1)], p, lane_monitors[li].get(), rec);
-  }
 
-  std::vector<const FermionField<double>*> pin;
-  std::vector<FermionField<double>*> pout;
-  std::vector<int> active;
-  for (;;) {
-    pin.clear();
-    pout.clear();
-    active.clear();
+    // check_deflation scope: stamp the recycled subspace right after its
+    // harvest, re-verify just before the lanes project against it. A
+    // mismatch discards the subspace (recycled deflation is an
+    // optimization — dropping it costs iterations, never correctness).
+    std::uint32_t defl_sum = 0;
+    bool defl_stamped = false;
+    if (abft_guard_ && abft_guard_->config().check_deflation &&
+        rec != nullptr && rec->valid()) {
+      defl_sum = deflation_checksum(recycle);
+      defl_stamped = true;
+    }
+
+    // Remaining RHS advance in lockstep. Each lane gets its own
+    // CheckpointMonitor (the checkpoint is per-iterate state); counters are
+    // merged back into the long-lived monitor afterwards.
+    const int nlanes = nrhs - 1;
+    std::vector<std::unique_ptr<CheckpointMonitor<double>>> lane_monitors(
+        static_cast<std::size_t>(nlanes));
+    std::vector<std::unique_ptr<FgmresDrEngine<double>>> lanes(
+        static_cast<std::size_t>(nlanes));
+    const ResilienceConfig& rc = config_.resilience;
+    if (defl_stamped) {
+      const bool intact = deflation_checksum(recycle) == defl_sum;
+      abft_guard_->note_deflation_verification(intact);
+      if (!intact) recycle.clear();
+    }
     for (int i = 0; i < nlanes; ++i) {
-      auto& e = *lanes[static_cast<std::size_t>(i)];
-      if (e.done()) continue;
-      active.push_back(i);
-      pin.push_back(&e.precond_input());
-      pout.push_back(&e.precond_output());
+      const auto li = static_cast<std::size_t>(i);
+      if (monitor_) {
+        CheckpointMonitorConfig mc;
+        mc.detect_ratio = rc.rollback_detect_ratio;
+        lane_monitors[li] = std::make_unique<CheckpointMonitor<double>>(
+            mc, rc.iterate_injector);
+        if (abft_guard_) lane_monitors[li]->set_abft_guard(abft_guard_.get());
+      }
+      lanes[li] = std::make_unique<FgmresDrEngine<double>>(
+          *linop_, b[static_cast<std::size_t>(i + 1)],
+          x[static_cast<std::size_t>(i + 1)], p, lane_monitors[li].get(), rec);
     }
-    if (active.empty()) break;
-    pre->apply_batch(pin, pout);
-    for (const int i : active) {
-      auto& e = *lanes[static_cast<std::size_t>(i)];
-      e.note_precond_application();
-      e.advance();
+
+    std::vector<const FermionField<double>*> pin;
+    std::vector<FermionField<double>*> pout;
+    std::vector<int> active;
+    for (;;) {
+      pin.clear();
+      pout.clear();
+      active.clear();
+      for (int i = 0; i < nlanes; ++i) {
+        auto& e = *lanes[static_cast<std::size_t>(i)];
+        if (e.done()) continue;
+        active.push_back(i);
+        pin.push_back(&e.precond_input());
+        pout.push_back(&e.precond_output());
+      }
+      if (active.empty()) break;
+      pre->apply_batch(pin, pout);
+      for (const int i : active) {
+        auto& e = *lanes[static_cast<std::size_t>(i)];
+        e.note_precond_application();
+        e.advance();
+      }
     }
+    for (int i = 0; i < nlanes; ++i) {
+      const auto li = static_cast<std::size_t>(i);
+      out[static_cast<std::size_t>(i + 1)] = lanes[li]->finish();
+      if (lane_monitors[li] && monitor_)
+        monitor_->absorb_stats(lane_monitors[li]->stats());
+    }
+    if (abft_guard_) abft_guard_->sweep();
+    return out;
+  } catch (const AbftError&) {
+    // Unrepairable ladder mid-batch: no lane's iterate is trustworthy.
+    for (auto& st : out) st = data_corruption_stats();
+    return out;
   }
-  for (int i = 0; i < nlanes; ++i) {
-    const auto li = static_cast<std::size_t>(i);
-    out[static_cast<std::size_t>(i + 1)] = lanes[li]->finish();
-    if (lane_monitors[li] && monitor_)
-      monitor_->absorb_stats(lane_monitors[li]->stats());
-  }
-  return out;
 }
 
 SchwarzStats DDSolver::schwarz_stats() const {

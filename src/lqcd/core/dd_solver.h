@@ -35,9 +35,33 @@ struct ResilienceConfig {
   double rollback_detect_ratio = 10.0;
   /// Optional fault injection (testing/benchmarking): `schwarz_injector`
   /// corrupts the preconditioner's sweep residual, `iterate_injector`
-  /// corrupts the outer iterate between cycles. Caller-owned.
+  /// corrupts the outer iterate between cycles, `packed_injector` flips
+  /// bits in the packed gauge/clover matrices between Schwarz sweeps
+  /// (FaultSite::kPackedData — the corruption class the ABFT layer
+  /// catches). Caller-owned; packed_injector must be a distinct instance
+  /// from schwarz_injector.
   FaultInjector* schwarz_injector = nullptr;
   FaultInjector* iterate_injector = nullptr;
+  FaultInjector* packed_injector = nullptr;
+  /// In-solve ABFT: periodic checksum re-verification of the packed
+  /// domain matrices with localized repair (see AbftGuard). Requires
+  /// `enabled`.
+  AbftConfig abft;
+
+  /// Young/Daly optimizer (daly_checkpoint_interval): the wall-clock
+  /// checkpoint interval minimizing expected fault overhead for `nodes`
+  /// nodes of `node_mtbf_hours` per-node MTBF and one checkpoint write
+  /// costing `checkpoint_cost_seconds`. The cluster model applies it when
+  /// NodeFaultSpec::auto_tune_checkpoint_interval is set; the same
+  /// optimizer (in units of preconditioner applications) picks
+  /// AbftConfig::verify_interval when that is left at 0.
+  static double auto_tune_checkpoint_interval(
+      double node_mtbf_hours, int nodes,
+      double checkpoint_cost_seconds) noexcept {
+    if (node_mtbf_hours <= 0.0 || nodes <= 0) return 0.0;
+    return daly_checkpoint_interval(checkpoint_cost_seconds,
+                                    node_mtbf_hours * 3600.0 / nodes);
+  }
 };
 
 struct DDSolverConfig {
@@ -144,6 +168,12 @@ class ResilientSchwarzAdapter final : public BatchPreconditioner<double> {
         in_f_(n),
         out_f_(n) {}
 
+  /// Attach the ABFT guard, notified once per completed application (per
+  /// RHS for batches) — the clock that drives the periodic checksum
+  /// sweeps. Notification happens after the output conversion, outside
+  /// any parallel region, so a sweep's repair never races an apply.
+  void set_abft_guard(AbftGuard* guard) noexcept { abft_ = guard; }
+
   void apply(const FermionField<double>& in,
              FermionField<double>& out) override {
     convert(in, in_f_);
@@ -154,6 +184,7 @@ class ResilientSchwarzAdapter final : public BatchPreconditioner<double> {
       if (fallback_ == nullptr || !all_finite(out_f_)) out_f_.zero();
     }
     convert(out_f_, out);
+    if (abft_ != nullptr) abft_->note_application();
   }
 
   /// Batched apply with per-RHS recovery: the whole batch runs on the
@@ -186,6 +217,8 @@ class ResilientSchwarzAdapter final : public BatchPreconditioner<double> {
       }
       convert(out_b_[b], *out[b]);
     }
+    if (abft_ != nullptr)
+      for (std::size_t b = 0; b < nrhs; ++b) abft_->note_application();
   }
 
  private:
@@ -199,6 +232,7 @@ class ResilientSchwarzAdapter final : public BatchPreconditioner<double> {
   Preconditioner<float>* primary_;
   BatchPreconditioner<float>* batch_primary_;
   Preconditioner<float>* fallback_;
+  AbftGuard* abft_ = nullptr;
   std::function<void()> on_fallback_;
   std::int64_t n_;
   FermionField<float> in_f_, out_f_;
@@ -241,6 +275,14 @@ class DDSolver {
     return monitor_ ? &monitor_->stats() : nullptr;
   }
 
+  /// ABFT sweep/repair counters; nullptr when ABFT is disabled.
+  const AbftStats* abft_stats() const noexcept {
+    return abft_guard_ ? &abft_guard_->stats() : nullptr;
+  }
+  /// The guard itself (detection-latency probes in tests/bench); nullptr
+  /// when ABFT is disabled.
+  const AbftGuard* abft_guard() const noexcept { return abft_guard_.get(); }
+
  private:
   FGMRESDRParams outer_params() const;
 
@@ -256,7 +298,12 @@ class DDSolver {
   std::unique_ptr<SchwarzPrecondAdapter> adapter_;
   std::unique_ptr<ResilientSchwarzAdapter> resilient_adapter_;
   std::unique_ptr<CheckpointMonitor<double>> monitor_;
+  std::unique_ptr<AbftGuard> abft_guard_;
   std::unique_ptr<WilsonCloverLinOp<double>> linop_;
+  /// Field-level checksum of the caller's double-precision gauge field,
+  /// stamped at construction: the last link of the repair ladder's chain
+  /// of trust.
+  std::uint32_t master_checksum_ = 0;
 };
 
 }  // namespace lqcd

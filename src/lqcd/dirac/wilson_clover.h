@@ -152,6 +152,16 @@ class WilsonCloverOperator {
   /// Precompute the odd-site block inverses used by the Schur complement.
   void prepare_schur() { clover_.compute_inverses(); }
 
+  /// Recompute the clover term (and its Schur inverses, if prepared) from
+  /// the CURRENT gauge links. The ABFT repair ladder calls this after
+  /// restoring a corrupted gauge field from its verified master copy —
+  /// the clover blocks are derived data, so they are rebuilt, not patched.
+  void rebuild_clover() {
+    const bool had_inverses = clover_.has_inverses();
+    clover_ = CloverTerm<T>(*geom_, *gauge_, mass_, csw_);
+    if (had_inverses) clover_.compute_inverses();
+  }
+
   /// out_e = Dtilde_ee in_e = A_ee in_e - 1/4 D_eo A_oo^{-1} D_oe in_e
   /// (A_eo = -1/2 D_eo). Even-parity checkerboard fields.
   void apply_schur(const FermionField<T>& in_e, FermionField<T>& out_e) const {

@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "lqcd/base/aligned.h"
+#include "lqcd/base/checksum.h"
 #include "lqcd/base/rng.h"
 #include "lqcd/lattice/geometry.h"
 #include "lqcd/su3/su3.h"
@@ -34,6 +35,14 @@ class GaugeField {
   const SU3<T>& link(std::int32_t site, int mu) const noexcept {
     return links_[static_cast<std::size_t>(site) * kNumDims +
                   static_cast<std::size_t>(mu)];
+  }
+
+  /// Field-level Fletcher-32 over the raw link storage. The ABFT repair
+  /// ladder stamps this once the field is final and re-verifies it before
+  /// trusting the field as a repack/repair source: a repair from a
+  /// corrupted source would just relocate the error.
+  std::uint32_t content_checksum() const noexcept {
+    return fletcher32_range(links_.data(), links_.size());
   }
 
   /// Flip the sign of every t-link that wraps around the time boundary

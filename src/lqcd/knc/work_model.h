@@ -150,6 +150,22 @@ inline KernelWork apply_cache_capacity(KernelWork w,
   return w;
 }
 
+/// Work of one ABFT checksum verification of a domain's packed matrices
+/// (gauge links + clover diagonal + clover inverse). Fletcher-32 costs a
+/// couple of integer adds per accumulated 16-bit word, so the sweep is a
+/// pure streaming pass — memory-bandwidth-bound at any realistic rate.
+inline KernelWork checksum_verify_work(const Coord& block,
+                                       bool half_matrices) noexcept {
+  const double vd = static_cast<double>(block_volume(block));
+  const double matrix_bytes =
+      vd * (72.0 + 72.0) * (half_matrices ? 2.0 : 4.0);
+  KernelWork w;
+  w.flops = matrix_bytes;  // ~2 integer ops per 16-bit word
+  w.l2_bytes = 0;
+  w.mem_bytes = matrix_bytes;
+  return w;
+}
+
 /// Work of one MR iteration alone (the "MR iteration" rows of Table II):
 /// runs from L2, no memory traffic.
 inline KernelWork mr_iteration_work(const Coord& block,

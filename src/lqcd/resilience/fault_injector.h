@@ -74,9 +74,10 @@ enum class FaultSite {
   kHaloExchange,       ///< one halo-exchange message
   kPackedMatrices,     ///< packed half/single gauge+clover blocks
   kDomainSolve,        ///< one domain visit inside a parallel Schwarz sweep
+  kPackedData,         ///< in-solve upset of one packed component between sweeps
 };
 
-inline constexpr int kNumFaultSites = 10;
+inline constexpr int kNumFaultSites = 11;
 
 inline const char* to_string(FaultSite s) noexcept {
   switch (s) {
@@ -90,6 +91,7 @@ inline const char* to_string(FaultSite s) noexcept {
     case FaultSite::kHaloExchange: return "halo-exchange";
     case FaultSite::kPackedMatrices: return "packed-matrices";
     case FaultSite::kDomainSolve: return "domain-solve";
+    case FaultSite::kPackedData: return "packed-data";
   }
   return "?";
 }

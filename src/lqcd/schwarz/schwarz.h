@@ -22,10 +22,12 @@
 #pragma once
 
 #include <cstring>
+#include <utility>
 
 #include "lqcd/dirac/wilson_clover.h"
 #include "lqcd/lattice/domain_partition.h"
 #include "lqcd/resilience/fault_injector.h"
+#include "lqcd/resilience/resilient_solve.h"
 #include "lqcd/schwarz/storage.h"
 #include "lqcd/solver/linear_operator.h"
 #include "lqcd/solver/mr.h"
@@ -61,6 +63,14 @@ struct SchwarzParams {
   /// exchange consumes). Independent of `fault_injector` (which stays a
   /// serial once-per-apply hook); nullptr = off.
   FaultInjector* domain_fault_injector = nullptr;
+  /// Optional in-solve packed-data fault hook (FaultSite::kPackedData):
+  /// one opportunity per (sweep, packed component) — gauge links, clover
+  /// diagonal, inverse clover — fired between Schwarz sweeps through a
+  /// ParallelFaultScope, so detection latency of the ABFT checksum sweeps
+  /// is measurable and the fired pattern is thread-count-invariant. Must
+  /// be a DIFFERENT injector instance from domain_fault_injector (two
+  /// live scopes must not share one pre-drawn budget); nullptr = off.
+  FaultInjector* packed_fault_injector = nullptr;
   /// Process batched domain visits with the SOA-over-RHS lane kernels
   /// (paper Sec. VI): each packed matrix element is loaded once and
   /// applied to every RHS of the batch from registers, with lane-wise MR
@@ -108,15 +118,18 @@ inline SchwarzStats operator+(SchwarzStats a, const SchwarzStats& b) noexcept {
 }
 
 template <class S>
-class SchwarzPreconditioner final : public BatchPreconditioner<float> {
+class SchwarzPreconditioner final : public BatchPreconditioner<float>,
+                                    public PackedDomainStore {
  public:
   /// `op` must have prepare_schur() already called (the odd-site clover
   /// inverses are copied into the packed domain storage). The partition
-  /// and operator must refer to the same geometry.
+  /// and operator must refer to the same geometry, and the operator must
+  /// outlive the preconditioner: it is the authoritative pack source the
+  /// ABFT repair ladder re-packs corrupted domains from.
   SchwarzPreconditioner(const DomainPartition& part,
                         const WilsonCloverOperator<float>& op,
                         const SchwarzParams& params)
-      : part_(&part), params_(params) {
+      : part_(&part), op_(&op), params_(params) {
     LQCD_CHECK(&part.geometry() == &op.geometry());
     LQCD_CHECK_MSG(op.clover().has_inverses(),
                    "call prepare_schur() on the operator first");
@@ -128,30 +141,14 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
     diag_e_.resize(static_cast<std::size_t>(nd) * hv * 2 * kCloverBlockReals);
     inv_o_.resize(static_cast<std::size_t>(nd) * hv * 2 * kCloverBlockReals);
 
-    const auto& gauge = op.gauge();
-    const auto& clover = op.clover();
-    for (int d = 0; d < nd; ++d) {
-      for (std::int32_t l = 0; l < vd; ++l) {
-        const std::int32_t g = part.global_site(d, l);
-        for (int mu = 0; mu < kNumDims; ++mu)
-          store_su3(gauge.link(g, mu), link_ptr(d, l, mu));
-        if (l < hv) {
-          for (int chi = 0; chi < 2; ++chi)
-            store_block(clover.block(g, chi), diag_e_ptr(d, l, chi));
-        } else {
-          for (int chi = 0; chi < 2; ++chi)
-            store_block(clover.inv_block(g, chi),
-                        inv_o_ptr(d, l - hv, chi));
-        }
-      }
-    }
-
-    // ABFT pack-time checksums: one Fletcher-32 per domain over its
-    // packed links + clover (+inverse clover) bytes, re-verifiable via
-    // verify_checksums().
+    // Pack every domain and stamp the ABFT checksums: one Fletcher-32 per
+    // (domain, packed component) for localization plus the combined
+    // per-domain value, re-verifiable via verify_checksums(), and the
+    // field-level source checksums the repair ladder trusts.
     checksums_.resize(static_cast<std::size_t>(nd));
-    for (int d = 0; d < nd; ++d)
-      checksums_[static_cast<std::size_t>(d)] = compute_domain_checksum(d);
+    sums_.resize(static_cast<std::size_t>(nd));
+    for (int d = 0; d < nd; ++d) pack_domain(d);
+    stamp_source();
 
     // Face buffer offsets. One buffer per domain face; a packed
     // half-spinor is 12 reals (48 B in single precision) per site — the
@@ -212,18 +209,76 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
   std::uint32_t domain_checksum(int d) const noexcept {
     return checksums_[static_cast<std::size_t>(d)];
   }
+  /// Pack-time checksum of one packed component of domain d.
+  std::uint32_t domain_checksum(int d, PackedComponent c) const noexcept {
+    const DomainSums& s = sums_[static_cast<std::size_t>(d)];
+    switch (c) {
+      case PackedComponent::kGaugeLinks: return s.links;
+      case PackedComponent::kCloverDiag: return s.diag;
+      case PackedComponent::kCloverInv: return s.inv;
+    }
+    return 0;
+  }
 
   /// Re-verify every domain's packed gauge/clover bytes against the
-  /// pack-time checksum; returns the number of mismatching domains
-  /// (0 = storage intact). Full load-time integration is a follow-up —
-  /// this is the ABFT detection primitive.
-  int verify_checksums() const noexcept {
-    int bad = 0;
-    for (int d = 0; d < part_->num_domains(); ++d)
-      if (compute_domain_checksum(d) !=
-          checksums_[static_cast<std::size_t>(d)])
-        ++bad;
-    return bad;
+  /// pack-time checksums (OpenMP-parallel over domains; the per-domain
+  /// verdicts are disjoint writes, so the result is thread-count
+  /// invariant); returns the number of mismatching domains (0 = intact).
+  int verify_checksums() const {
+    std::vector<int> bad;
+    find_corrupt_domains(true, true, bad);
+    return static_cast<int>(bad.size());
+  }
+
+  // --- PackedDomainStore (the AbftGuard's view of this object) ---------
+
+  int num_domains() const override { return part_->num_domains(); }
+  const char* store_name() const override { return StorageTraits<S>::name(); }
+
+  /// Append the indices of domains whose packed per-component checksums
+  /// no longer match their pack-time stamps, honoring the scope flags.
+  void find_corrupt_domains(bool check_gauge, bool check_clover,
+                            std::vector<int>& bad) const override {
+    const int nd = part_->num_domains();
+    std::vector<unsigned char> corrupt(static_cast<std::size_t>(nd), 0);
+    unsigned char* flags = corrupt.data();
+#pragma omp parallel for schedule(static) default(none) \
+    shared(nd, check_gauge, check_clover, flags)
+    for (int d = 0; d < nd; ++d) {
+      bool ok = true;
+      if (check_gauge)
+        ok = component_checksum(d, PackedComponent::kGaugeLinks) ==
+             sums_[static_cast<std::size_t>(d)].links;
+      if (ok && check_clover)
+        ok = component_checksum(d, PackedComponent::kCloverDiag) ==
+                 sums_[static_cast<std::size_t>(d)].diag &&
+             component_checksum(d, PackedComponent::kCloverInv) ==
+                 sums_[static_cast<std::size_t>(d)].inv;
+      flags[d] = ok ? 0 : 1;
+    }
+    for (int d = 0; d < nd; ++d)
+      if (flags[d] != 0) bad.push_back(d);
+  }
+
+  /// Rung-1 localized repair: re-pack one domain from the source operator
+  /// and restamp its checksums. Only valid while the source verifies
+  /// (source_intact()), or a relocation of the error would be stamped as
+  /// truth.
+  void repack_domain(int d) override { pack_domain(d); }
+
+  /// Re-verify the pack source (float gauge field + clover blocks)
+  /// against the field-level checksums stamped at pack time.
+  bool source_intact() const override {
+    return op_->gauge().content_checksum() == source_gauge_sum_ &&
+           clover_content_checksum() == source_clover_sum_;
+  }
+
+  /// Rung-2 repair service: after DDSolver rebuilt the source operator
+  /// from the double master, re-pack every domain and restamp the source
+  /// checksums against the repaired field.
+  void repack_all() {
+    for (int d = 0; d < part_->num_domains(); ++d) pack_domain(d);
+    stamp_source();
   }
 
   /// Test hook: let `injector` corrupt the packed link storage in place
@@ -233,6 +288,16 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
     return injector.maybe_corrupt_reals(
         links_.data(), static_cast<std::int64_t>(links_.size()),
         FaultSite::kPackedMatrices);
+  }
+
+  /// Deterministic test hook: aim `injector` at ONE (domain, component)
+  /// range (FaultSite::kPackedData), so tests can assert exactly which
+  /// domain the sweep localizes and that the repair is bit-exact.
+  bool corrupt_packed(FaultInjector& injector, int d, PackedComponent comp) {
+    S* data = nullptr;
+    std::int64_t count = 0;
+    component_range(d, comp, data, count);
+    return injector.maybe_corrupt_reals(data, count, FaultSite::kPackedData);
   }
 
   /// Per-domain working-set bytes of links + clover (+inverse clover)
@@ -379,6 +444,17 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
         static_cast<std::int64_t>(params_.schwarz_iterations) * nd,
         static_cast<int>(scratch_.size()));
     domain_scope_ = &domain_scope;
+    // In-solve packed-data upsets (FaultSite::kPackedData): one pre-drawn
+    // opportunity per (sweep, packed component), fired on thread 0 in the
+    // serial gap between sweeps. Routing the serial firing through a scope
+    // keeps the decisions, the corrupted element, and all counters a pure
+    // function of (seed, schedule) — the same thread-count-invariance
+    // contract as the domain-visit hook above.
+    ParallelFaultScope packed_scope(
+        params_.packed_fault_injector, FaultSite::kPackedData,
+        static_cast<std::int64_t>(params_.schwarz_iterations) *
+            kNumPackedComponents,
+        1);
     const std::int64_t n_black =
         static_cast<std::int64_t>(part_->domains_of_color(0).size());
 
@@ -395,10 +471,12 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
         sweep_color(1, nrhs, u, visit_base + n_black);
         apply_halo_updates(1, nrhs);
       }
-      (void)s;
+      if (params_.packed_fault_injector != nullptr)
+        inject_packed_between_sweeps(packed_scope, s);
     }
     domain_scope_ = nullptr;
     domain_scope.merge();  // fold per-thread shards into the injector stats
+    packed_scope.merge();
 
     for (auto& sc : scratch_) {
       stats_.block_solves += sc.stats.block_solves;
@@ -411,13 +489,34 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
     }
   }
 
+  /// Fire the pre-drawn packed-data upsets of sweep `s`: one key per
+  /// packed component, each targeting that component's whole storage (the
+  /// corrupted element is drawn from the key's own RNG). Serial — runs in
+  /// the gap between sweeps, exactly where a long-lived upset would bite.
+  void inject_packed_between_sweeps(ParallelFaultScope& scope, int s) {
+    const std::int64_t k0 =
+        static_cast<std::int64_t>(s) * kNumPackedComponents;
+    if (scope.maybe_corrupt_reals(0, k0, links_.data(),
+                                  static_cast<std::int64_t>(links_.size())))
+      ++stats_.injected_faults;
+    if (scope.maybe_corrupt_reals(0, k0 + 1, diag_e_.data(),
+                                  static_cast<std::int64_t>(diag_e_.size())))
+      ++stats_.injected_faults;
+    if (scope.maybe_corrupt_reals(0, k0 + 2, inv_o_.data(),
+                                  static_cast<std::int64_t>(inv_o_.size())))
+      ++stats_.injected_faults;
+  }
+
   /// Face-buffer slot of (RHS b, domain d): RHS-major so the nrhs = 1
   /// layout coincides with the historical one-buffer-per-domain layout.
   std::int64_t buffer_slot(int b, int d) const noexcept {
     return static_cast<std::int64_t>(b) * part_->num_domains() + d;
   }
 
-  S* link_ptr(int d, std::int32_t l, int mu) noexcept {
+  // Packed-array accessors: the const overloads are the primary
+  // implementations (they never mutate), and the non-const ones forward —
+  // so const callers like verify_checksums() need no const_cast chain.
+  const S* link_ptr(int d, std::int32_t l, int mu) const noexcept {
     return links_.data() +
            ((static_cast<std::size_t>(d) *
                  static_cast<std::size_t>(part_->domain_volume()) +
@@ -426,10 +525,10 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
             static_cast<std::size_t>(mu)) *
                kSU3Reals;
   }
-  const S* link_ptr(int d, std::int32_t l, int mu) const noexcept {
-    return const_cast<SchwarzPreconditioner*>(this)->link_ptr(d, l, mu);
+  S* link_ptr(int d, std::int32_t l, int mu) noexcept {
+    return const_cast<S*>(std::as_const(*this).link_ptr(d, l, mu));
   }
-  S* diag_e_ptr(int d, std::int32_t le, int chi) noexcept {
+  const S* diag_e_ptr(int d, std::int32_t le, int chi) const noexcept {
     return diag_e_.data() +
            ((static_cast<std::size_t>(d) *
                  static_cast<std::size_t>(part_->domain_half_volume()) +
@@ -438,7 +537,10 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
             static_cast<std::size_t>(chi)) *
                kCloverBlockReals;
   }
-  S* inv_o_ptr(int d, std::int32_t lo, int chi) noexcept {
+  S* diag_e_ptr(int d, std::int32_t le, int chi) noexcept {
+    return const_cast<S*>(std::as_const(*this).diag_e_ptr(d, le, chi));
+  }
+  const S* inv_o_ptr(int d, std::int32_t lo, int chi) const noexcept {
     return inv_o_.data() +
            ((static_cast<std::size_t>(d) *
                  static_cast<std::size_t>(part_->domain_half_volume()) +
@@ -446,6 +548,9 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
                 2 +
             static_cast<std::size_t>(chi)) *
                kCloverBlockReals;
+  }
+  S* inv_o_ptr(int d, std::int32_t lo, int chi) noexcept {
+    return const_cast<S*>(std::as_const(*this).inv_o_ptr(d, lo, chi));
   }
   float* buffer_ptr(std::int64_t slot, int mu, Dir dir) noexcept {
     return buffers_.data() + static_cast<std::size_t>(slot) *
@@ -510,14 +615,14 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
     local_dslash_impl(d, 1, in_e, sc.t1_o);  // D_oe in_e
     for (std::int32_t lo = 0; lo < hv; ++lo) {
       apply_block_pair(
-          load_block(inv_o_ptr_const(d, lo, 0)),
-          load_block(inv_o_ptr_const(d, lo, 1)), sc.t1_o[lo], sc.t2_o[lo]);
+          load_block(inv_o_ptr(d, lo, 0)),
+          load_block(inv_o_ptr(d, lo, 1)), sc.t1_o[lo], sc.t2_o[lo]);
     }
     local_dslash_impl(d, 0, sc.t2_o, out_e);  // D_eo A_oo^-1 D_oe in_e
     for (std::int32_t le = 0; le < hv; ++le) {
       Spinor<float> diag;
-      apply_block_pair(load_block(diag_e_ptr_const(d, le, 0)),
-                       load_block(diag_e_ptr_const(d, le, 1)), in_e[le],
+      apply_block_pair(load_block(diag_e_ptr(d, le, 0)),
+                       load_block(diag_e_ptr(d, le, 1)), in_e[le],
                        diag);
       for (int sp = 0; sp < kNumSpins; ++sp)
         for (int c = 0; c < kNumColors; ++c)
@@ -531,18 +636,97 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
     const auto hv = static_cast<std::size_t>(part_->domain_half_volume());
     Fletcher32 f;
     f.update(link_ptr(d, 0, 0), vd * kNumDims * kSU3Reals * sizeof(S));
-    f.update(diag_e_ptr_const(d, 0, 0),
-             hv * 2 * kCloverBlockReals * sizeof(S));
-    f.update(inv_o_ptr_const(d, 0, 0),
-             hv * 2 * kCloverBlockReals * sizeof(S));
+    f.update(diag_e_ptr(d, 0, 0), hv * 2 * kCloverBlockReals * sizeof(S));
+    f.update(inv_o_ptr(d, 0, 0), hv * 2 * kCloverBlockReals * sizeof(S));
     return f.value();
   }
 
-  const S* diag_e_ptr_const(int d, std::int32_t le, int chi) const noexcept {
-    return const_cast<SchwarzPreconditioner*>(this)->diag_e_ptr(d, le, chi);
+  /// Fresh Fletcher-32 of one packed component of domain d (what the
+  /// parallel verification compares against the pack-time stamp).
+  std::uint32_t component_checksum(int d, PackedComponent c) const noexcept {
+    const auto vd = static_cast<std::size_t>(part_->domain_volume());
+    const auto hv = static_cast<std::size_t>(part_->domain_half_volume());
+    switch (c) {
+      case PackedComponent::kGaugeLinks:
+        return packed_checksum(link_ptr(d, 0, 0), vd * kNumDims * kSU3Reals);
+      case PackedComponent::kCloverDiag:
+        return packed_checksum(diag_e_ptr(d, 0, 0),
+                               hv * 2 * kCloverBlockReals);
+      case PackedComponent::kCloverInv:
+        return packed_checksum(inv_o_ptr(d, 0, 0),
+                               hv * 2 * kCloverBlockReals);
+    }
+    return 0;
   }
-  const S* inv_o_ptr_const(int d, std::int32_t lo, int chi) const noexcept {
-    return const_cast<SchwarzPreconditioner*>(this)->inv_o_ptr(d, lo, chi);
+
+  /// Mutable storage range of one packed component of domain d (the
+  /// deterministic corruption hook's target).
+  void component_range(int d, PackedComponent c, S*& data,
+                       std::int64_t& count) noexcept {
+    const std::int64_t vd = part_->domain_volume();
+    const std::int64_t hv = part_->domain_half_volume();
+    switch (c) {
+      case PackedComponent::kGaugeLinks:
+        data = link_ptr(d, 0, 0);
+        count = vd * kNumDims * kSU3Reals;
+        break;
+      case PackedComponent::kCloverDiag:
+        data = diag_e_ptr(d, 0, 0);
+        count = hv * 2 * kCloverBlockReals;
+        break;
+      case PackedComponent::kCloverInv:
+        data = inv_o_ptr(d, 0, 0);
+        count = hv * 2 * kCloverBlockReals;
+        break;
+    }
+  }
+
+  /// Pack (or re-pack) domain d from the source operator and stamp its
+  /// per-component and combined checksums. The constructor's pack loop
+  /// and the ABFT rung-1 repair are the same code path, so a repair is
+  /// bit-identical to the original pack by construction.
+  void pack_domain(int d) {
+    const std::int32_t vd = part_->domain_volume();
+    const std::int32_t hv = part_->domain_half_volume();
+    const auto& gauge = op_->gauge();
+    const auto& clover = op_->clover();
+    for (std::int32_t l = 0; l < vd; ++l) {
+      const std::int32_t g = part_->global_site(d, l);
+      for (int mu = 0; mu < kNumDims; ++mu)
+        store_su3(gauge.link(g, mu), link_ptr(d, l, mu));
+      if (l < hv) {
+        for (int chi = 0; chi < 2; ++chi)
+          store_block(clover.block(g, chi), diag_e_ptr(d, l, chi));
+      } else {
+        for (int chi = 0; chi < 2; ++chi)
+          store_block(clover.inv_block(g, chi), inv_o_ptr(d, l - hv, chi));
+      }
+    }
+    DomainSums& s = sums_[static_cast<std::size_t>(d)];
+    s.links = component_checksum(d, PackedComponent::kGaugeLinks);
+    s.diag = component_checksum(d, PackedComponent::kCloverDiag);
+    s.inv = component_checksum(d, PackedComponent::kCloverInv);
+    checksums_[static_cast<std::size_t>(d)] = compute_domain_checksum(d);
+  }
+
+  /// Field-level Fletcher-32 over the source clover blocks (forward and
+  /// inverse), the clover half of the source_intact() verification.
+  std::uint32_t clover_content_checksum() const {
+    const auto volume =
+        static_cast<std::int32_t>(part_->geometry().volume());
+    const auto& clover = op_->clover();
+    Fletcher32 f;
+    for (std::int32_t g = 0; g < volume; ++g)
+      for (int chi = 0; chi < 2; ++chi) {
+        f.update(&clover.block(g, chi), sizeof(PackedHermitian6<float>));
+        f.update(&clover.inv_block(g, chi), sizeof(PackedHermitian6<float>));
+      }
+    return f.value();
+  }
+
+  void stamp_source() {
+    source_gauge_sum_ = op_->gauge().content_checksum();
+    source_clover_sum_ = clover_content_checksum();
   }
 
   std::int64_t schur_flops() const noexcept {
@@ -576,8 +760,8 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
 
     // Schur RHS: rhs_e = r_e + 1/2 D_eo A_oo^-1 r_o.
     for (std::int32_t lo = 0; lo < hv; ++lo)
-      apply_block_pair(load_block(inv_o_ptr_const(d, lo, 0)),
-                       load_block(inv_o_ptr_const(d, lo, 1)),
+      apply_block_pair(load_block(inv_o_ptr(d, lo, 0)),
+                       load_block(inv_o_ptr(d, lo, 1)),
                        sc.r_loc[hv + lo], sc.t1_o[lo]);
     local_dslash_impl(d, 0, sc.t1_o, sc.rhs_e);
     for (std::int32_t le = 0; le < hv; ++le)
@@ -628,8 +812,8 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
         for (int c = 0; c < kNumColors; ++c)
           rhs_o.s[sp].c[c] = sc.r_loc[hv + lo].s[sp].c[c] +
                              0.5f * sc.t1_o[lo].s[sp].c[c];
-      apply_block_pair(load_block(inv_o_ptr_const(d, lo, 0)),
-                       load_block(inv_o_ptr_const(d, lo, 1)), rhs_o,
+      apply_block_pair(load_block(inv_o_ptr(d, lo, 0)),
+                       load_block(inv_o_ptr(d, lo, 1)), rhs_o,
                        z[hv + lo]);
     }
     sc.stats.flops += 168 * hops_per_parity_ + hv * (504 + 24);
@@ -1005,14 +1189,14 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
     const int L = in_e.lanes();
     lane_dslash(d, 1, in_e, sc.t1_lanes, sc);
     for (std::int32_t lo = 0; lo < hv; ++lo)
-      lane_apply_block_pair(load_block(inv_o_ptr_const(d, lo, 0)),
-                            load_block(inv_o_ptr_const(d, lo, 1)),
+      lane_apply_block_pair(load_block(inv_o_ptr(d, lo, 0)),
+                            load_block(inv_o_ptr(d, lo, 1)),
                             sc.t1_lanes.lane_vec(lo, 0),
                             sc.t2_lanes.lane_vec(lo, 0), L);
     lane_dslash(d, 0, sc.t2_lanes, out_e, sc);
     for (std::int32_t le = 0; le < hv; ++le) {
-      lane_apply_block_pair(load_block(diag_e_ptr_const(d, le, 0)),
-                            load_block(diag_e_ptr_const(d, le, 1)),
+      lane_apply_block_pair(load_block(diag_e_ptr(d, le, 0)),
+                            load_block(diag_e_ptr(d, le, 1)),
                             in_e.lane_vec(le, 0), sc.s24.data(), L);
       float* o = out_e.lane_vec(le, 0);
       const float* diag = sc.s24.data();
@@ -1047,8 +1231,8 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
 
     // Schur RHS: rhs_e = r_e + 1/2 D_eo A_oo^-1 r_o, all lanes at once.
     for (std::int32_t lo = 0; lo < hv; ++lo)
-      lane_apply_block_pair(load_block(inv_o_ptr_const(d, lo, 0)),
-                            load_block(inv_o_ptr_const(d, lo, 1)),
+      lane_apply_block_pair(load_block(inv_o_ptr(d, lo, 0)),
+                            load_block(inv_o_ptr(d, lo, 1)),
                             sc.r_lanes.lane_vec(hv + lo, 0),
                             sc.t1_lanes.lane_vec(lo, 0), L);
     lane_dslash(d, 0, sc.t1_lanes, sc.rhs_e_lanes, sc);
@@ -1096,8 +1280,8 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
       LQCD_PRAGMA_SIMD
       for (int k = 0; k < kSpinorReals * L; ++k)
         rhs_o[k] = rv[k] + 0.5f * tv[k];
-      lane_apply_block_pair(load_block(inv_o_ptr_const(d, lo, 0)),
-                            load_block(inv_o_ptr_const(d, lo, 1)), rhs_o,
+      lane_apply_block_pair(load_block(inv_o_ptr(d, lo, 0)),
+                            load_block(inv_o_ptr(d, lo, 1)), rhs_o,
                             sc.z_lanes.lane_vec(hv + lo, 0), L);
     }
     sc.stats.flops += nb * (168 * hops_per_parity_ + hv * (504 + 24));
@@ -1243,7 +1427,16 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
                            r_batch_[static_cast<std::size_t>(b)]);
   }
 
+  /// Per-domain pack-time checksums, one per packed component, so a
+  /// verification failure localizes to (domain, component).
+  struct DomainSums {
+    std::uint32_t links = 0;
+    std::uint32_t diag = 0;
+    std::uint32_t inv = 0;
+  };
+
   const DomainPartition* part_;
+  const WilsonCloverOperator<float>* op_;  ///< authoritative pack source
   SchwarzParams params_;
   SchwarzStats stats_;
 
@@ -1251,6 +1444,9 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float> {
   AlignedVector<S> diag_e_;  // [domain][even local][chi][36]
   AlignedVector<S> inv_o_;   // [domain][odd local][chi][36]
   std::vector<std::uint32_t> checksums_;  // pack-time ABFT, one per domain
+  std::vector<DomainSums> sums_;          // per-component localization
+  std::uint32_t source_gauge_sum_ = 0;    // field-level source checksums
+  std::uint32_t source_clover_sum_ = 0;
 
   AlignedVector<float> buffers_;
   std::int64_t buffer_stride_ = 0;

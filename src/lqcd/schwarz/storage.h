@@ -94,6 +94,26 @@ PackedHermitian6<float> load_block(const S* src) noexcept {
   return b;
 }
 
+/// The three packed per-domain arrays a Schwarz store protects with
+/// checksums; ABFT detection, repair, and injection address them by
+/// (domain, component).
+enum class PackedComponent {
+  kGaugeLinks = 0,  ///< 8 links per local site, 18 scalars each
+  kCloverDiag,      ///< even-site clover blocks (forward application)
+  kCloverInv,       ///< odd-site inverse clover blocks (Schur solve)
+};
+
+inline constexpr int kNumPackedComponents = 3;
+
+inline const char* to_string(PackedComponent c) noexcept {
+  switch (c) {
+    case PackedComponent::kGaugeLinks: return "gauge-links";
+    case PackedComponent::kCloverDiag: return "clover-diag";
+    case PackedComponent::kCloverInv: return "clover-inv";
+  }
+  return "?";
+}
+
 /// ABFT seed (ROADMAP): Fletcher-32 over a packed-scalar range. Computed
 /// at pack time per domain and re-verified on demand, it catches the
 /// PERSISTENT corruption class — a bit-flipped half/single-precision

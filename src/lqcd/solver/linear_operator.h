@@ -70,8 +70,9 @@ enum class Breakdown {
   kNone = 0,
   kRhoBreakdown,   ///< Lanczos/BiCG scalar hit exact zero (rho, omega, r0·v)
   kNanDetected,    ///< NaN/Inf in a residual norm or inner product
-  kStagnation,     ///< no usable search direction / no residual decrease
-  kMaxIterations,  ///< iteration budget exhausted
+  kStagnation,      ///< no usable search direction / no residual decrease
+  kMaxIterations,   ///< iteration budget exhausted
+  kDataCorruption,  ///< ABFT: corrupt data with no verified repair source
 };
 
 inline const char* to_string(Breakdown b) noexcept {
@@ -81,6 +82,7 @@ inline const char* to_string(Breakdown b) noexcept {
     case Breakdown::kNanDetected: return "nan_detected";
     case Breakdown::kStagnation: return "stagnation";
     case Breakdown::kMaxIterations: return "max_iterations";
+    case Breakdown::kDataCorruption: return "data_corruption";
   }
   return "?";
 }

@@ -17,6 +17,11 @@ Enforces invariants no generic tool knows about (see DESIGN.md
                        blessed ParallelFaultScope / per-thread shard API.
   ci-label-check       every ctest -L label referenced in ci.yml exists
                        in tests/CMakeLists.txt or bench/CMakeLists.txt.
+  ci-label-coverage    the reverse: every label registered in tests/ or
+                       bench/ CMakeLists.txt is exercised by at least one
+                       `ctest -L` leg in ci.yml, so a new suite (e.g.
+                       `abft`) cannot silently dodge the label-restricted
+                       sanitizer legs.
 
 Suppressions: tools/lint_suppressions.txt, one per line,
     <rule>:<path>[:<line>]  # <justification>
@@ -239,21 +244,33 @@ def check_ci_labels(findings: list[Finding]) -> None:
     if not ci.exists():
         return
     known: set[str] = set()
-    label_re = re.compile(r'(?:lqcd_add_test\(\S+\s+|LABELS\s+)"?([A-Za-z0-9_;]+)"?\)?')
+    label_re = re.compile(
+        r'(?:lqcd_add_test\(\S+[ \t]+|LABELS[ \t]+)"?([A-Za-z0-9_;]+)"?\)?')
     for cml in (REPO / "tests" / "CMakeLists.txt",
                 REPO / "bench" / "CMakeLists.txt"):
         if cml.exists():
             for m in label_re.finditer(cml.read_text()):
                 known.update(m.group(1).split(";"))
+    referenced: set[str] = set()
     for ln, line in enumerate(ci.read_text().splitlines(), 1):
         for m in CTEST_LABEL_RE.finditer(line):
             for label in m.group(1).split("|"):
+                referenced.add(label)
                 if label not in known:
                     findings.append(Finding(
                         "ci-label-check", ci, ln,
                         f"ctest label '{label}' referenced in ci.yml is "
                         "not registered in tests/ or bench/ "
                         "CMakeLists.txt"))
+    # Reverse direction: a registered label that no `ctest -L` leg selects
+    # means the suite never runs under the label-restricted CI legs.
+    for label in sorted(known - referenced):
+        findings.append(Finding(
+            "ci-label-coverage", ci, 1,
+            f"label '{label}' is registered in tests/ or bench/ "
+            "CMakeLists.txt but no `ctest -L` leg in ci.yml exercises "
+            "it — add it to a label expression (e.g. the sanitizer "
+            "legs)"))
 
 
 def load_suppressions(path: Path) -> tuple[list[tuple], int]:
