@@ -32,11 +32,21 @@ SolverStats data_corruption_stats() {
   return st;
 }
 
+/// Structured refusal when the gauge field was mutated under the solver:
+/// no arithmetic ran, nothing was written to x.
+SolverStats stale_setup_stats() {
+  SolverStats st;
+  st.converged = false;
+  st.breakdown = Breakdown::kStaleSetup;
+  return st;
+}
+
 }  // namespace
 
-DDSolver::DDSolver(const Geometry& geom, const GaugeField<double>& gauge,
-                   double mass, double csw, const DDSolverConfig& config)
-    : config_(config), geom_(&geom), cb_(geom) {
+DDSolverSetup::DDSolverSetup(const Geometry& geom,
+                             const GaugeField<double>& gauge, double mass,
+                             double csw, const DDSolverConfig& config)
+    : geom_(&geom), master_(&gauge), mass_(mass), csw_(csw), cb_(geom) {
   LQCD_CHECK(&gauge.geometry() == &geom);
   op_d_ = std::make_unique<WilsonCloverOperator<double>>(geom, cb_, gauge,
                                                          mass, csw);
@@ -46,7 +56,40 @@ DDSolver::DDSolver(const Geometry& geom, const GaugeField<double>& gauge,
       static_cast<float>(csw));
   op_f_->prepare_schur();
   part_ = std::make_unique<DomainPartition>(geom, config.block);
+  // Pack exactly the precisions this config's solve path can touch: half
+  // as the primary when half_precision_matrices, single as the primary
+  // otherwise — plus single as the fp16-overflow retry target when the
+  // resilient precision fallback is armed.
+  if (config.half_precision_matrices) {
+    schwarz_half_ = std::make_shared<SchwarzSetup<Half>>(*part_, *op_f_);
+    if (config.resilience.enabled && config.resilience.precision_fallback)
+      schwarz_single_ = std::make_shared<SchwarzSetup<float>>(*part_, *op_f_);
+  } else {
+    schwarz_single_ = std::make_shared<SchwarzSetup<float>>(*part_, *op_f_);
+  }
+  gauge_checksum_ = gauge.content_checksum();
+}
 
+bool DDSolverSetup::repair_from_master() {
+  if (master_->content_checksum() != gauge_checksum_) return false;
+  // Rebuild the float source from the verified double master, the
+  // derived clover term from it, then re-pack every store.
+  *gauge_f_ = convert<float>(*master_);
+  op_f_->rebuild_clover();
+  if (schwarz_half_) schwarz_half_->repack_all();
+  if (schwarz_single_) schwarz_single_->repack_all();
+  return true;
+}
+
+DDSolver::DDSolver(const Geometry& geom, const GaugeField<double>& gauge,
+                   double mass, double csw, const DDSolverConfig& config)
+    : DDSolver(std::make_shared<DDSolverSetup>(geom, gauge, mass, csw, config),
+               config) {}
+
+DDSolver::DDSolver(std::shared_ptr<DDSolverSetup> setup,
+                   const DDSolverConfig& config)
+    : config_(config), setup_(std::move(setup)) {
+  LQCD_CHECK(setup_ != nullptr);
   SchwarzParams sp;
   sp.schwarz_iterations = config.schwarz_iterations;
   sp.block_mr_iterations = config.block_mr_iterations;
@@ -59,23 +102,30 @@ DDSolver::DDSolver(const Geometry& geom, const GaugeField<double>& gauge,
   }
   Preconditioner<float>* inner = nullptr;
   if (config.half_precision_matrices) {
-    schwarz_half_ =
-        std::make_unique<SchwarzPreconditioner<Half>>(*part_, *op_f_, sp);
+    LQCD_CHECK_MSG(setup_->schwarz_half() != nullptr,
+                   "setup was built without half-precision matrices");
+    schwarz_half_ = std::make_unique<SchwarzPreconditioner<Half>>(
+        setup_->schwarz_half(), sp);
     inner = schwarz_half_.get();
     if (rc.enabled && rc.precision_fallback) {
+      LQCD_CHECK_MSG(setup_->schwarz_single() != nullptr,
+                     "setup was built without the single-precision fallback");
       // Single-precision fallback matrices, fault-free: the retry target
       // when a half-precision sweep output goes non-finite.
       SchwarzParams sp_clean = sp;
       sp_clean.fault_injector = nullptr;
       sp_clean.packed_fault_injector = nullptr;
       schwarz_single_ = std::make_unique<SchwarzPreconditioner<float>>(
-          *part_, *op_f_, sp_clean);
+          setup_->schwarz_single(), sp_clean);
     }
   } else {
-    schwarz_single_ =
-        std::make_unique<SchwarzPreconditioner<float>>(*part_, *op_f_, sp);
+    LQCD_CHECK_MSG(setup_->schwarz_single() != nullptr,
+                   "setup was built without single-precision matrices");
+    schwarz_single_ = std::make_unique<SchwarzPreconditioner<float>>(
+        setup_->schwarz_single(), sp);
     inner = schwarz_single_.get();
   }
+  const Geometry& geom = setup_->geometry();
   if (rc.enabled) {
     Preconditioner<float>* fallback =
         (config.half_precision_matrices && rc.precision_fallback)
@@ -110,24 +160,15 @@ DDSolver::DDSolver(const Geometry& geom, const GaugeField<double>& gauge,
       abft_guard_ = std::make_unique<AbftGuard>(ac);
       if (schwarz_half_) abft_guard_->add_store(schwarz_half_.get());
       if (schwarz_single_) abft_guard_->add_store(schwarz_single_.get());
-      master_checksum_ = gauge.content_checksum();
-      abft_guard_->set_source_repair([this, master = &gauge]() -> bool {
-        if (master->content_checksum() != master_checksum_) return false;
-        // Rebuild the float source from the verified double master, the
-        // derived clover term from it, then re-pack every store.
-        *gauge_f_ = convert<float>(*master);
-        op_f_->rebuild_clover();
-        if (schwarz_half_) schwarz_half_->repack_all();
-        if (schwarz_single_) schwarz_single_->repack_all();
-        return true;
-      });
+      abft_guard_->set_source_repair(
+          [this]() -> bool { return setup_->repair_from_master(); });
       resilient_adapter_->set_abft_guard(abft_guard_.get());
       if (monitor_) monitor_->set_abft_guard(abft_guard_.get());
     }
   } else {
     adapter_ = std::make_unique<SchwarzPrecondAdapter>(*inner, geom.volume());
   }
-  linop_ = std::make_unique<WilsonCloverLinOp<double>>(*op_d_);
+  linop_ = std::make_unique<WilsonCloverLinOp<double>>(setup_->op_d());
 }
 
 FGMRESDRParams DDSolver::outer_params() const {
@@ -141,8 +182,14 @@ FGMRESDRParams DDSolver::outer_params() const {
   return p;
 }
 
+bool DDSolver::setup_is_stale() const {
+  return config_.stale_setup_check &&
+         setup_->master().content_checksum() != setup_->gauge_checksum();
+}
+
 SolverStats DDSolver::solve(const FermionField<double>& b,
                             FermionField<double>& x) {
+  if (setup_is_stale()) return stale_setup_stats();
   if (monitor_) monitor_->drop_checkpoint();
   if (abft_guard_) abft_guard_->begin_solve();
   Preconditioner<double>* pre = resilient_adapter_
@@ -165,60 +212,125 @@ SolverStats DDSolver::solve(const FermionField<double>& b,
 std::vector<SolverStats> DDSolver::solve_batch(
     const std::vector<FermionField<double>>& b,
     std::vector<FermionField<double>>& x) {
+  return solve_batch(b, x, BatchSolveOptions{});
+}
+
+std::vector<SolverStats> DDSolver::solve_batch(
+    const std::vector<FermionField<double>>& b,
+    std::vector<FermionField<double>>& x, const BatchSolveOptions& options) {
   LQCD_CHECK_MSG(b.size() == x.size(), "solve_batch needs |b| == |x|");
+  LQCD_CHECK_MSG(
+      options.tolerances.empty() || options.tolerances.size() == b.size(),
+      "solve_batch options need one tolerance per RHS (or none)");
   const int nrhs = static_cast<int>(b.size());
   std::vector<SolverStats> out(static_cast<std::size_t>(nrhs));
   if (nrhs == 0) return out;
+  if (setup_is_stale()) {
+    for (auto& st : out) st = stale_setup_stats();
+    return out;
+  }
 
-  const FGMRESDRParams p = outer_params();
+  // Per-lane outer parameters: each RHS converges at its OWN tolerance —
+  // the engines are per-lane, so a tight lane keeps iterating (and a
+  // converged loose lane stops consuming preconditioner work) no matter
+  // what the rest of the batch targets.
+  std::vector<FGMRESDRParams> lane_params(static_cast<std::size_t>(nrhs),
+                                          outer_params());
+  for (std::size_t i = 0; i < options.tolerances.size(); ++i)
+    lane_params[i].tolerance = options.tolerances[i];
+
   BatchPreconditioner<double>* pre =
       resilient_adapter_
           ? static_cast<BatchPreconditioner<double>*>(resilient_adapter_.get())
           : adapter_.get();
-  DeflationSpace<double> recycle;
-  DeflationSpace<double>* rec = config_.deflation_size > 0 ? &recycle : nullptr;
+
+  // Resolve the deflation-recycle space. A caller-provided persistent
+  // cache is keyed by the configuration checksum: presenting a subspace
+  // harvested on a different gauge configuration discards it instead of
+  // poisoning this solve with meaningless deflation directions.
+  DeflationSpace<double> local_recycle;
+  DeflationSpace<double>* rec = nullptr;
+  RecycleCache* cache = options.recycle;
+  if (config_.deflation_size > 0) {
+    if (cache != nullptr) {
+      if (cache->gauge_key != setup_->gauge_checksum()) {
+        cache->clear();
+        cache->gauge_key = setup_->gauge_checksum();
+      }
+      rec = &cache->space;
+    } else {
+      rec = &local_recycle;
+    }
+  }
 
   try {
-    // RHS 0 runs alone: its solve seeds the recycled deflation subspace the
-    // rest of the batch projects against. (With nrhs == 1 this path is the
-    // whole call and executes exactly what solve() executes.)
     if (monitor_) monitor_->drop_checkpoint();
     if (abft_guard_) abft_guard_->begin_solve();
-    out[0] = fgmres_dr_solve<double>(*linop_, pre, b[0], x[0], p,
-                                     monitor_.get(), rec);
-    if (nrhs == 1) {
-      if (abft_guard_) abft_guard_->sweep();
-      return out;
+
+    // Cross-batch check_deflation scope: a persistent subspace is
+    // re-verified against the checksum stamped when the previous batch
+    // harvested it. A mismatch discards the subspace (recycled deflation
+    // is an optimization — dropping it costs iterations, never
+    // correctness).
+    if (cache != nullptr && cache->abft_stamped && rec != nullptr &&
+        rec->valid() && abft_guard_ && abft_guard_->config().check_deflation) {
+      const bool intact = deflation_checksum(*rec) == cache->abft_sum;
+      abft_guard_->note_deflation_verification(intact);
+      if (!intact) rec->clear();
     }
 
-    // check_deflation scope: stamp the recycled subspace right after its
-    // harvest, re-verify just before the lanes project against it. A
-    // mismatch discards the subspace (recycled deflation is an
-    // optimization — dropping it costs iterations, never correctness).
+    const ResilienceConfig& rc = config_.resilience;
     std::uint32_t defl_sum = 0;
     bool defl_stamped = false;
-    if (abft_guard_ && abft_guard_->config().check_deflation &&
-        rec != nullptr && rec->valid()) {
-      defl_sum = deflation_checksum(recycle);
-      defl_stamped = true;
+    int first_lane = 0;
+    if (rec == nullptr || !rec->valid()) {
+      // RHS 0 runs alone: its solve seeds the recycled deflation subspace
+      // the rest of the batch projects against. (With nrhs == 1 this path
+      // is the whole call and executes exactly what solve() executes.)
+      out[0] = fgmres_dr_solve<double>(*linop_, pre, b[0], x[0],
+                                       lane_params[0], monitor_.get(), rec);
+      first_lane = 1;
+      if (nrhs == 1) {
+        if (cache != nullptr && rec->valid() && abft_guard_ &&
+            abft_guard_->config().check_deflation) {
+          cache->abft_sum = deflation_checksum(*rec);
+          cache->abft_stamped = true;
+        }
+        if (abft_guard_) abft_guard_->sweep();
+        return out;
+      }
+
+      // In-call check_deflation scope: stamp the recycled subspace right
+      // after its harvest; the shared verify below re-checks it just
+      // before the lanes project against it.
+      if (abft_guard_ && abft_guard_->config().check_deflation &&
+          rec != nullptr && rec->valid()) {
+        defl_sum = deflation_checksum(*rec);
+        defl_stamped = true;
+      }
+    }
+    // else: a valid subspace from a previous batch on this configuration
+    // exists — skip the solo seeding phase and run EVERY lane in lockstep
+    // from the first preconditioner application (the persistent-service
+    // fast path).
+
+    if (defl_stamped) {
+      const bool intact = deflation_checksum(*rec) == defl_sum;
+      abft_guard_->note_deflation_verification(intact);
+      if (!intact) rec->clear();
     }
 
-    // Remaining RHS advance in lockstep. Each lane gets its own
-    // CheckpointMonitor (the checkpoint is per-iterate state); counters are
-    // merged back into the long-lived monitor afterwards.
-    const int nlanes = nrhs - 1;
+    // Lockstep lanes. Each lane gets its own CheckpointMonitor (the
+    // checkpoint is per-iterate state); counters are merged back into the
+    // long-lived monitor afterwards.
+    const int nlanes = nrhs - first_lane;
     std::vector<std::unique_ptr<CheckpointMonitor<double>>> lane_monitors(
         static_cast<std::size_t>(nlanes));
     std::vector<std::unique_ptr<FgmresDrEngine<double>>> lanes(
         static_cast<std::size_t>(nlanes));
-    const ResilienceConfig& rc = config_.resilience;
-    if (defl_stamped) {
-      const bool intact = deflation_checksum(recycle) == defl_sum;
-      abft_guard_->note_deflation_verification(intact);
-      if (!intact) recycle.clear();
-    }
     for (int i = 0; i < nlanes; ++i) {
       const auto li = static_cast<std::size_t>(i);
+      const auto ri = static_cast<std::size_t>(first_lane + i);
       if (monitor_) {
         CheckpointMonitorConfig mc;
         mc.detect_ratio = rc.rollback_detect_ratio;
@@ -227,8 +339,8 @@ std::vector<SolverStats> DDSolver::solve_batch(
         if (abft_guard_) lane_monitors[li]->set_abft_guard(abft_guard_.get());
       }
       lanes[li] = std::make_unique<FgmresDrEngine<double>>(
-          *linop_, b[static_cast<std::size_t>(i + 1)],
-          x[static_cast<std::size_t>(i + 1)], p, lane_monitors[li].get(), rec);
+          *linop_, b[ri], x[ri], lane_params[ri], lane_monitors[li].get(),
+          rec);
     }
 
     std::vector<const FermionField<double>*> pin;
@@ -255,9 +367,16 @@ std::vector<SolverStats> DDSolver::solve_batch(
     }
     for (int i = 0; i < nlanes; ++i) {
       const auto li = static_cast<std::size_t>(i);
-      out[static_cast<std::size_t>(i + 1)] = lanes[li]->finish();
+      out[static_cast<std::size_t>(first_lane + i)] = lanes[li]->finish();
       if (lane_monitors[li] && monitor_)
         monitor_->absorb_stats(lane_monitors[li]->stats());
+    }
+    // Stamp the persistent cache against whatever the last finisher
+    // harvested, so the NEXT batch's entry verification has a reference.
+    if (cache != nullptr && rec != nullptr && rec->valid() && abft_guard_ &&
+        abft_guard_->config().check_deflation) {
+      cache->abft_sum = deflation_checksum(*rec);
+      cache->abft_stamped = true;
     }
     if (abft_guard_) abft_guard_->sweep();
     return out;

@@ -87,7 +87,104 @@ struct DDSolverConfig {
   /// stagnant cycles force a plain restart with residual replacement.
   double stagnation_threshold = 0.999;
   int max_stagnant_cycles = 3;
+  /// Verify at every solve entry that the caller's double-precision gauge
+  /// field still matches the checksum stamped when the setup was packed.
+  /// On mismatch the solve returns immediately with
+  /// Breakdown::kStaleSetup instead of silently solving against stale
+  /// packed data (the caller mutated the gauge field — e.g. another HMC
+  /// trajectory — without rebuilding the solver). Costs one Fletcher-32
+  /// pass over the gauge field per solve/solve_batch call.
+  bool stale_setup_check = true;
   ResilienceConfig resilience; ///< breakdown detection & recovery layer
+};
+
+/// Immutable per-configuration solver state: the double/float operators,
+/// the domain partition, and the packed Schwarz setups — everything whose
+/// construction cost should be paid once per gauge configuration and
+/// shared by every DDSolver instance (and thus every solve) on it. Which
+/// Schwarz precisions are packed follows the config the setup was built
+/// with; a DDSolver attached later must use a config needing no more.
+///
+/// Mutability exception: the ABFT repair ladder (repair_from_master(),
+/// per-domain re-packs inside the Schwarz setups) heals corrupted packed
+/// data in place, so solves that may trigger in-solve repair must not run
+/// concurrently on a shared setup.
+class DDSolverSetup {
+ public:
+  /// `geom` and `gauge` must outlive the setup. The gauge field should
+  /// already carry its boundary phases (make_time_antiperiodic()).
+  DDSolverSetup(const Geometry& geom, const GaugeField<double>& gauge,
+                double mass, double csw, const DDSolverConfig& config);
+
+  const Geometry& geometry() const noexcept { return *geom_; }
+  /// The caller's double-precision gauge field (the repair ladder's
+  /// authoritative master copy).
+  const GaugeField<double>& master() const noexcept { return *master_; }
+  double mass() const noexcept { return mass_; }
+  double csw() const noexcept { return csw_; }
+  const WilsonCloverOperator<double>& op_d() const noexcept { return *op_d_; }
+  const DomainPartition& partition() const noexcept { return *part_; }
+  const std::shared_ptr<SchwarzSetup<Half>>& schwarz_half() const noexcept {
+    return schwarz_half_;
+  }
+  const std::shared_ptr<SchwarzSetup<float>>& schwarz_single() const noexcept {
+    return schwarz_single_;
+  }
+  /// Field-level Fletcher-32 of the master gauge field, stamped at
+  /// construction: the setup-cache key and the stale-setup detector.
+  std::uint32_t gauge_checksum() const noexcept { return gauge_checksum_; }
+
+  /// Rung-2 ABFT repair: verify the double master against the
+  /// construction-time checksum, rebuild the float gauge/clover source
+  /// from it, and re-pack every Schwarz store. False if the master itself
+  /// no longer verifies (nothing trustworthy to repair from).
+  bool repair_from_master();
+
+ private:
+  const Geometry* geom_;
+  const GaugeField<double>* master_;
+  double mass_;
+  double csw_;
+  Checkerboard cb_;
+  std::unique_ptr<WilsonCloverOperator<double>> op_d_;
+  std::unique_ptr<GaugeField<float>> gauge_f_;
+  std::unique_ptr<WilsonCloverOperator<float>> op_f_;
+  std::unique_ptr<DomainPartition> part_;
+  std::shared_ptr<SchwarzSetup<Half>> schwarz_half_;
+  std::shared_ptr<SchwarzSetup<float>> schwarz_single_;
+  std::uint32_t gauge_checksum_ = 0;
+};
+
+/// Persistent deflation-recycle state a caller can thread through
+/// consecutive solve_batch() calls so later batches on the same gauge
+/// configuration skip the solo seeding solve and project against the
+/// subspace harvested by the previous batch. The cache is keyed by the
+/// configuration checksum: presenting it to a solver on a DIFFERENT
+/// configuration silently discards the subspace (a harmonic-Ritz space of
+/// configuration A is meaningless — and convergence-poisoning — on B).
+struct RecycleCache {
+  DeflationSpace<double> space;
+  std::uint32_t gauge_key = 0;  ///< configuration the space was harvested on
+  std::uint32_t abft_sum = 0;   ///< checksum stamped at harvest (ABFT)
+  bool abft_stamped = false;
+  void clear() {
+    space.clear();
+    abft_sum = 0;
+    abft_stamped = false;
+  }
+};
+
+/// Per-call options of DDSolver::solve_batch().
+struct BatchSolveOptions {
+  /// Per-RHS relative-residual targets. Empty = the config tolerance for
+  /// every lane; otherwise must have one entry per RHS. Each lane's
+  /// engine converges (and stops consuming preconditioner applications)
+  /// at ITS OWN target — a tight-tolerance lane is never declared done at
+  /// a looser lane's threshold.
+  std::vector<double> tolerances;
+  /// Optional cross-batch deflation recycling (see RecycleCache);
+  /// nullptr = recycle only within this call.
+  RecycleCache* recycle = nullptr;
 };
 
 /// Bridges the double-precision outer solver to the float preconditioner:
@@ -241,10 +338,19 @@ class ResilientSchwarzAdapter final : public BatchPreconditioner<double> {
 
 class DDSolver {
  public:
-  /// `geom` and `gauge` must outlive the solver. The gauge field should
-  /// already carry its boundary phases (make_time_antiperiodic()).
+  /// One-shot form: build (and own) a private DDSolverSetup. `geom` and
+  /// `gauge` must outlive the solver; the gauge field should already
+  /// carry its boundary phases (make_time_antiperiodic()).
   DDSolver(const Geometry& geom, const GaugeField<double>& gauge, double mass,
            double csw, const DDSolverConfig& config);
+
+  /// Shared-setup form: attach to an existing per-configuration setup
+  /// (solver-service path). Only mutable per-solve state is allocated —
+  /// Schwarz sweep scratch, precision-bridge staging, monitors — so
+  /// constructing additional solvers on a configuration costs no
+  /// operator rebuild or re-packing. `config` must not require packed
+  /// precisions the setup was built without.
+  DDSolver(std::shared_ptr<DDSolverSetup> setup, const DDSolverConfig& config);
 
   /// Solve A x = b to the configured relative residual.
   SolverStats solve(const FermionField<double>& b, FermionField<double>& x);
@@ -260,9 +366,26 @@ class DDSolver {
       const std::vector<FermionField<double>>& b,
       std::vector<FermionField<double>>& x);
 
+  /// solve_batch with per-lane tolerances and/or persistent cross-batch
+  /// deflation recycling. When options.recycle presents a subspace that
+  /// is valid for THIS configuration, the solo seeding phase is skipped
+  /// and every RHS advances in lockstep from the first preconditioner
+  /// application.
+  std::vector<SolverStats> solve_batch(
+      const std::vector<FermionField<double>>& b,
+      std::vector<FermionField<double>>& x,
+      const BatchSolveOptions& options);
+
   const DDSolverConfig& config() const noexcept { return config_; }
-  const WilsonCloverOperator<double>& op() const noexcept { return *op_d_; }
-  const DomainPartition& partition() const noexcept { return *part_; }
+  const std::shared_ptr<DDSolverSetup>& setup() const noexcept {
+    return setup_;
+  }
+  const WilsonCloverOperator<double>& op() const noexcept {
+    return setup_->op_d();
+  }
+  const DomainPartition& partition() const noexcept {
+    return setup_->partition();
+  }
 
   /// Counters accumulated inside the Schwarz preconditioner(s). Merged
   /// across the half-precision primary AND the single-precision fallback,
@@ -285,14 +408,14 @@ class DDSolver {
 
  private:
   FGMRESDRParams outer_params() const;
+  /// True when stale_setup_check is on and the caller's gauge field no
+  /// longer matches the checksum the setup was packed against.
+  bool setup_is_stale() const;
 
   DDSolverConfig config_;
-  const Geometry* geom_;
-  Checkerboard cb_;
-  std::unique_ptr<WilsonCloverOperator<double>> op_d_;
-  std::unique_ptr<GaugeField<float>> gauge_f_;
-  std::unique_ptr<WilsonCloverOperator<float>> op_f_;
-  std::unique_ptr<DomainPartition> part_;
+  /// Shared immutable per-configuration state; everything below is
+  /// per-solver mutable scratch.
+  std::shared_ptr<DDSolverSetup> setup_;
   std::unique_ptr<SchwarzPreconditioner<float>> schwarz_single_;
   std::unique_ptr<SchwarzPreconditioner<Half>> schwarz_half_;
   std::unique_ptr<SchwarzPrecondAdapter> adapter_;
@@ -300,10 +423,6 @@ class DDSolver {
   std::unique_ptr<CheckpointMonitor<double>> monitor_;
   std::unique_ptr<AbftGuard> abft_guard_;
   std::unique_ptr<WilsonCloverLinOp<double>> linop_;
-  /// Field-level checksum of the caller's double-precision gauge field,
-  /// stamped at construction: the last link of the repair ladder's chain
-  /// of trust.
-  std::uint32_t master_checksum_ = 0;
 };
 
 }  // namespace lqcd

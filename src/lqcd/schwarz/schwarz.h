@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstring>
+#include <memory>
 #include <utility>
 
 #include "lqcd/dirac/wilson_clover.h"
@@ -117,19 +118,31 @@ inline SchwarzStats operator+(SchwarzStats a, const SchwarzStats& b) noexcept {
   return a;
 }
 
+/// Immutable-after-pack per-configuration state of the Schwarz method:
+/// the packed per-domain gauge/clover matrices in storage scalar S, their
+/// pack-time ABFT checksums, and the partition-derived geometry tables
+/// (face-buffer offsets, partner maps, hop counts). One SchwarzSetup can
+/// back any number of SchwarzPreconditioner instances — each of those
+/// owns only mutable per-solve state (residuals, face buffers, per-thread
+/// scratch, stats) — which is what lets a long-lived solver service pay
+/// the packing cost once per gauge configuration and share it across
+/// every solve on that configuration.
+///
+/// "Immutable" has one deliberate exception: the ABFT repair ladder
+/// re-packs corrupted domains in place (repack_domain()/repack_all()), so
+/// solves that may trigger in-solve repair must not run concurrently on a
+/// shared setup.
 template <class S>
-class SchwarzPreconditioner final : public BatchPreconditioner<float>,
-                                    public PackedDomainStore {
+class SchwarzSetup final : public PackedDomainStore {
  public:
   /// `op` must have prepare_schur() already called (the odd-site clover
   /// inverses are copied into the packed domain storage). The partition
-  /// and operator must refer to the same geometry, and the operator must
-  /// outlive the preconditioner: it is the authoritative pack source the
-  /// ABFT repair ladder re-packs corrupted domains from.
-  SchwarzPreconditioner(const DomainPartition& part,
-                        const WilsonCloverOperator<float>& op,
-                        const SchwarzParams& params)
-      : part_(&part), op_(&op), params_(params) {
+  /// and operator must refer to the same geometry, and both must outlive
+  /// the setup: the operator is the authoritative pack source the ABFT
+  /// repair ladder re-packs corrupted domains from.
+  SchwarzSetup(const DomainPartition& part,
+               const WilsonCloverOperator<float>& op)
+      : part_(&part), op_(&op) {
     LQCD_CHECK(&part.geometry() == &op.geometry());
     LQCD_CHECK_MSG(op.clover().has_inverses(),
                    "call prepare_schur() on the operator first");
@@ -161,7 +174,6 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float>,
         off += static_cast<std::int64_t>(part.face_size(mu)) * 12;
       }
     buffer_stride_ = off;
-    buffers_.resize(static_cast<std::size_t>(nd) * buffer_stride_);
 
     // Partner map: producer face site -> consumer-local site index.
     for (int mu = 0; mu < kNumDims; ++mu) {
@@ -192,18 +204,10 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float>,
         if (part.local_neighbor(l, mu, Dir::kBackward) >= 0)
           ++hops_per_parity_;
       }
-
-    ensure_scratch();
-    r_batch_.resize(1);  // residual(0) is addressable even before apply()
   }
 
-  const SchwarzStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_.reset(); }
-  /// Recorded by the resilient adapter when a non-finite sweep output
-  /// forced a retry on the single-precision fallback matrices.
-  void note_precision_fallback() noexcept { ++stats_.precision_fallbacks; }
-  const SchwarzParams& params() const noexcept { return params_; }
   const DomainPartition& partition() const noexcept { return *part_; }
+  const WilsonCloverOperator<float>& op() const noexcept { return *op_; }
 
   /// Pack-time Fletcher-32 checksum of domain d's packed matrices.
   std::uint32_t domain_checksum(int d) const noexcept {
@@ -218,16 +222,6 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float>,
       case PackedComponent::kCloverInv: return s.inv;
     }
     return 0;
-  }
-
-  /// Re-verify every domain's packed gauge/clover bytes against the
-  /// pack-time checksums (OpenMP-parallel over domains; the per-domain
-  /// verdicts are disjoint writes, so the result is thread-count
-  /// invariant); returns the number of mismatching domains (0 = intact).
-  int verify_checksums() const {
-    std::vector<int> bad;
-    find_corrupt_domains(true, true, bad);
-    return static_cast<int>(bad.size());
   }
 
   // --- PackedDomainStore (the AbftGuard's view of this object) ---------
@@ -281,6 +275,14 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float>,
     stamp_source();
   }
 
+  /// Re-verify every domain's packed gauge/clover bytes against the
+  /// pack-time checksums; returns the number of mismatching domains.
+  int verify_checksums() const {
+    std::vector<int> bad;
+    find_corrupt_domains(true, true, bad);
+    return static_cast<int>(bad.size());
+  }
+
   /// Test hook: let `injector` corrupt the packed link storage in place
   /// (FaultSite::kPackedMatrices) — the persistent-fault class the
   /// checksums exist to catch. Returns true iff a fault fired.
@@ -306,6 +308,299 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float>,
     const std::int64_t vd = part_->domain_volume();
     return vd * kNumDims * kSU3Reals * static_cast<std::int64_t>(sizeof(S)) +
            vd * 2 * kCloverBlockReals * static_cast<std::int64_t>(sizeof(S));
+  }
+
+  // Packed-array accessors: the const overloads are the primary
+  // implementations (they never mutate), and the non-const ones forward —
+  // so const callers like verify_checksums() need no const_cast chain.
+  const S* link_ptr(int d, std::int32_t l, int mu) const noexcept {
+    return links_.data() +
+           ((static_cast<std::size_t>(d) *
+                 static_cast<std::size_t>(part_->domain_volume()) +
+             static_cast<std::size_t>(l)) *
+                kNumDims +
+            static_cast<std::size_t>(mu)) *
+               kSU3Reals;
+  }
+  S* link_ptr(int d, std::int32_t l, int mu) noexcept {
+    return const_cast<S*>(std::as_const(*this).link_ptr(d, l, mu));
+  }
+  const S* diag_e_ptr(int d, std::int32_t le, int chi) const noexcept {
+    return diag_e_.data() +
+           ((static_cast<std::size_t>(d) *
+                 static_cast<std::size_t>(part_->domain_half_volume()) +
+             static_cast<std::size_t>(le)) *
+                2 +
+            static_cast<std::size_t>(chi)) *
+               kCloverBlockReals;
+  }
+  S* diag_e_ptr(int d, std::int32_t le, int chi) noexcept {
+    return const_cast<S*>(std::as_const(*this).diag_e_ptr(d, le, chi));
+  }
+  const S* inv_o_ptr(int d, std::int32_t lo, int chi) const noexcept {
+    return inv_o_.data() +
+           ((static_cast<std::size_t>(d) *
+                 static_cast<std::size_t>(part_->domain_half_volume()) +
+             static_cast<std::size_t>(lo)) *
+                2 +
+            static_cast<std::size_t>(chi)) *
+               kCloverBlockReals;
+  }
+  S* inv_o_ptr(int d, std::int32_t lo, int chi) noexcept {
+    return const_cast<S*>(std::as_const(*this).inv_o_ptr(d, lo, chi));
+  }
+
+  /// Whole-store mutable ranges, one per packed component — the targets
+  /// of the between-sweeps packed-data fault hook.
+  S* links_data() noexcept { return links_.data(); }
+  std::int64_t links_count() const noexcept {
+    return static_cast<std::int64_t>(links_.size());
+  }
+  S* diag_e_data() noexcept { return diag_e_.data(); }
+  std::int64_t diag_e_count() const noexcept {
+    return static_cast<std::int64_t>(diag_e_.size());
+  }
+  S* inv_o_data() noexcept { return inv_o_.data(); }
+  std::int64_t inv_o_count() const noexcept {
+    return static_cast<std::int64_t>(inv_o_.size());
+  }
+
+  /// Mutable storage range of one packed component of domain d (the
+  /// deterministic corruption hook's target).
+  void component_range(int d, PackedComponent c, S*& data,
+                       std::int64_t& count) noexcept {
+    const std::int64_t vd = part_->domain_volume();
+    const std::int64_t hv = part_->domain_half_volume();
+    switch (c) {
+      case PackedComponent::kGaugeLinks:
+        data = link_ptr(d, 0, 0);
+        count = vd * kNumDims * kSU3Reals;
+        break;
+      case PackedComponent::kCloverDiag:
+        data = diag_e_ptr(d, 0, 0);
+        count = hv * 2 * kCloverBlockReals;
+        break;
+      case PackedComponent::kCloverInv:
+        data = inv_o_ptr(d, 0, 0);
+        count = hv * 2 * kCloverBlockReals;
+        break;
+    }
+  }
+
+  /// Fresh Fletcher-32 of one packed component of domain d (what the
+  /// parallel verification compares against the pack-time stamp).
+  std::uint32_t component_checksum(int d, PackedComponent c) const noexcept {
+    const auto vd = static_cast<std::size_t>(part_->domain_volume());
+    const auto hv = static_cast<std::size_t>(part_->domain_half_volume());
+    switch (c) {
+      case PackedComponent::kGaugeLinks:
+        return packed_checksum(link_ptr(d, 0, 0), vd * kNumDims * kSU3Reals);
+      case PackedComponent::kCloverDiag:
+        return packed_checksum(diag_e_ptr(d, 0, 0),
+                               hv * 2 * kCloverBlockReals);
+      case PackedComponent::kCloverInv:
+        return packed_checksum(inv_o_ptr(d, 0, 0),
+                               hv * 2 * kCloverBlockReals);
+    }
+    return 0;
+  }
+
+  // Partition-derived geometry tables, shared read-only by every
+  // preconditioner on this setup.
+  std::int64_t face_buffer_stride() const noexcept { return buffer_stride_; }
+  std::int64_t face_offset(int mu, Dir dir) const noexcept {
+    return face_offset_[static_cast<std::size_t>(mu) * 2 +
+                        (dir == Dir::kForward ? 0 : 1)];
+  }
+  const std::vector<std::int32_t>& partner_fwd(int mu) const noexcept {
+    return partner_fwd_[static_cast<std::size_t>(mu)];
+  }
+  const std::vector<std::int32_t>& partner_bwd(int mu) const noexcept {
+    return partner_bwd_[static_cast<std::size_t>(mu)];
+  }
+  std::int64_t hops_per_parity() const noexcept { return hops_per_parity_; }
+
+ private:
+  /// Per-domain pack-time checksums, one per packed component, so a
+  /// verification failure localizes to (domain, component).
+  struct DomainSums {
+    std::uint32_t links = 0;
+    std::uint32_t diag = 0;
+    std::uint32_t inv = 0;
+  };
+
+  std::uint32_t compute_domain_checksum(int d) const noexcept {
+    const auto vd = static_cast<std::size_t>(part_->domain_volume());
+    const auto hv = static_cast<std::size_t>(part_->domain_half_volume());
+    Fletcher32 f;
+    f.update(link_ptr(d, 0, 0), vd * kNumDims * kSU3Reals * sizeof(S));
+    f.update(diag_e_ptr(d, 0, 0), hv * 2 * kCloverBlockReals * sizeof(S));
+    f.update(inv_o_ptr(d, 0, 0), hv * 2 * kCloverBlockReals * sizeof(S));
+    return f.value();
+  }
+
+  /// Pack (or re-pack) domain d from the source operator and stamp its
+  /// per-component and combined checksums. The constructor's pack loop
+  /// and the ABFT rung-1 repair are the same code path, so a repair is
+  /// bit-identical to the original pack by construction.
+  void pack_domain(int d) {
+    const std::int32_t vd = part_->domain_volume();
+    const std::int32_t hv = part_->domain_half_volume();
+    const auto& gauge = op_->gauge();
+    const auto& clover = op_->clover();
+    for (std::int32_t l = 0; l < vd; ++l) {
+      const std::int32_t g = part_->global_site(d, l);
+      for (int mu = 0; mu < kNumDims; ++mu)
+        store_su3(gauge.link(g, mu), link_ptr(d, l, mu));
+      if (l < hv) {
+        for (int chi = 0; chi < 2; ++chi)
+          store_block(clover.block(g, chi), diag_e_ptr(d, l, chi));
+      } else {
+        for (int chi = 0; chi < 2; ++chi)
+          store_block(clover.inv_block(g, chi), inv_o_ptr(d, l - hv, chi));
+      }
+    }
+    DomainSums& s = sums_[static_cast<std::size_t>(d)];
+    s.links = component_checksum(d, PackedComponent::kGaugeLinks);
+    s.diag = component_checksum(d, PackedComponent::kCloverDiag);
+    s.inv = component_checksum(d, PackedComponent::kCloverInv);
+    checksums_[static_cast<std::size_t>(d)] = compute_domain_checksum(d);
+  }
+
+  /// Field-level Fletcher-32 over the source clover blocks (forward and
+  /// inverse), the clover half of the source_intact() verification.
+  std::uint32_t clover_content_checksum() const {
+    const auto volume =
+        static_cast<std::int32_t>(part_->geometry().volume());
+    const auto& clover = op_->clover();
+    Fletcher32 f;
+    for (std::int32_t g = 0; g < volume; ++g)
+      for (int chi = 0; chi < 2; ++chi) {
+        f.update(&clover.block(g, chi), sizeof(PackedHermitian6<float>));
+        f.update(&clover.inv_block(g, chi), sizeof(PackedHermitian6<float>));
+      }
+    return f.value();
+  }
+
+  void stamp_source() {
+    source_gauge_sum_ = op_->gauge().content_checksum();
+    source_clover_sum_ = clover_content_checksum();
+  }
+
+  const DomainPartition* part_;
+  const WilsonCloverOperator<float>* op_;  ///< authoritative pack source
+
+  AlignedVector<S> links_;   // [domain][local][mu][18]
+  AlignedVector<S> diag_e_;  // [domain][even local][chi][36]
+  AlignedVector<S> inv_o_;   // [domain][odd local][chi][36]
+  std::vector<std::uint32_t> checksums_;  // pack-time ABFT, one per domain
+  std::vector<DomainSums> sums_;          // per-component localization
+  std::uint32_t source_gauge_sum_ = 0;    // field-level source checksums
+  std::uint32_t source_clover_sum_ = 0;
+
+  std::int64_t buffer_stride_ = 0;
+  std::int64_t face_offset_[2 * kNumDims] = {};
+  std::vector<std::int32_t> partner_fwd_[kNumDims];
+  std::vector<std::int32_t> partner_bwd_[kNumDims];
+  std::int64_t hops_per_parity_ = 0;
+};
+
+template <class S>
+class SchwarzPreconditioner final : public BatchPreconditioner<float>,
+                                    public PackedDomainStore {
+ public:
+  /// Legacy one-shot form: build (and own) a private SchwarzSetup. `op`
+  /// must have prepare_schur() already called; partition and operator
+  /// must outlive the preconditioner.
+  SchwarzPreconditioner(const DomainPartition& part,
+                        const WilsonCloverOperator<float>& op,
+                        const SchwarzParams& params)
+      : SchwarzPreconditioner(std::make_shared<SchwarzSetup<S>>(part, op),
+                              params) {}
+
+  /// Shared-setup form: attach to an existing packed per-configuration
+  /// setup. Only mutable per-solve state (residuals, face buffers,
+  /// per-thread scratch, stats) is allocated here, so constructing more
+  /// preconditioners on the same configuration costs no re-packing.
+  SchwarzPreconditioner(std::shared_ptr<SchwarzSetup<S>> setup,
+                        const SchwarzParams& params)
+      : setup_(std::move(setup)),
+        part_(&setup_->partition()),
+        params_(params),
+        buffer_stride_(setup_->face_buffer_stride()),
+        hops_per_parity_(setup_->hops_per_parity()) {
+    LQCD_CHECK(setup_ != nullptr);
+    buffers_.resize(static_cast<std::size_t>(part_->num_domains()) *
+                    static_cast<std::size_t>(buffer_stride_));
+    ensure_scratch();
+    r_batch_.resize(1);  // residual(0) is addressable even before apply()
+  }
+
+  const SchwarzStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+  /// Recorded by the resilient adapter when a non-finite sweep output
+  /// forced a retry on the single-precision fallback matrices.
+  void note_precision_fallback() noexcept { ++stats_.precision_fallbacks; }
+  const SchwarzParams& params() const noexcept { return params_; }
+  const DomainPartition& partition() const noexcept { return *part_; }
+  /// The shared per-configuration packed state backing this instance.
+  const std::shared_ptr<SchwarzSetup<S>>& setup() const noexcept {
+    return setup_;
+  }
+
+  // Checksum/ABFT surface: all of it lives on the shared setup; these
+  // forwarders keep the historical one-object API (and the
+  // PackedDomainStore registration path in DDSolver) working unchanged.
+
+  /// Pack-time Fletcher-32 checksum of domain d's packed matrices.
+  std::uint32_t domain_checksum(int d) const noexcept {
+    return setup_->domain_checksum(d);
+  }
+  /// Pack-time checksum of one packed component of domain d.
+  std::uint32_t domain_checksum(int d, PackedComponent c) const noexcept {
+    return setup_->domain_checksum(d, c);
+  }
+
+  /// Re-verify every domain's packed gauge/clover bytes against the
+  /// pack-time checksums (OpenMP-parallel over domains; the per-domain
+  /// verdicts are disjoint writes, so the result is thread-count
+  /// invariant); returns the number of mismatching domains (0 = intact).
+  int verify_checksums() const { return setup_->verify_checksums(); }
+
+  // --- PackedDomainStore (the AbftGuard's view of this object) ---------
+
+  int num_domains() const override { return setup_->num_domains(); }
+  const char* store_name() const override { return setup_->store_name(); }
+  void find_corrupt_domains(bool check_gauge, bool check_clover,
+                            std::vector<int>& bad) const override {
+    setup_->find_corrupt_domains(check_gauge, check_clover, bad);
+  }
+  void repack_domain(int d) override { setup_->repack_domain(d); }
+  bool source_intact() const override { return setup_->source_intact(); }
+
+  /// Rung-2 repair service: after DDSolver rebuilt the source operator
+  /// from the double master, re-pack every domain and restamp the source
+  /// checksums against the repaired field.
+  void repack_all() { setup_->repack_all(); }
+
+  /// Test hook: let `injector` corrupt the packed link storage in place
+  /// (FaultSite::kPackedMatrices) — the persistent-fault class the
+  /// checksums exist to catch. Returns true iff a fault fired.
+  bool corrupt_packed(FaultInjector& injector) {
+    return setup_->corrupt_packed(injector);
+  }
+
+  /// Deterministic test hook: aim `injector` at ONE (domain, component)
+  /// range (FaultSite::kPackedData), so tests can assert exactly which
+  /// domain the sweep localizes and that the repair is bit-exact.
+  bool corrupt_packed(FaultInjector& injector, int d, PackedComponent comp) {
+    return setup_->corrupt_packed(injector, d, comp);
+  }
+
+  /// Per-domain working-set bytes of links + clover (+inverse clover)
+  /// storage — the quantity the paper fits into the 512 kB L2.
+  std::int64_t domain_matrix_bytes() const noexcept {
+    return setup_->domain_matrix_bytes();
   }
 
   /// u = M f: ISchwarz Schwarz sweeps starting from u = 0.
@@ -496,14 +791,14 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float>,
   void inject_packed_between_sweeps(ParallelFaultScope& scope, int s) {
     const std::int64_t k0 =
         static_cast<std::int64_t>(s) * kNumPackedComponents;
-    if (scope.maybe_corrupt_reals(0, k0, links_.data(),
-                                  static_cast<std::int64_t>(links_.size())))
+    if (scope.maybe_corrupt_reals(0, k0, setup_->links_data(),
+                                  setup_->links_count()))
       ++stats_.injected_faults;
-    if (scope.maybe_corrupt_reals(0, k0 + 1, diag_e_.data(),
-                                  static_cast<std::int64_t>(diag_e_.size())))
+    if (scope.maybe_corrupt_reals(0, k0 + 1, setup_->diag_e_data(),
+                                  setup_->diag_e_count()))
       ++stats_.injected_faults;
-    if (scope.maybe_corrupt_reals(0, k0 + 2, inv_o_.data(),
-                                  static_cast<std::int64_t>(inv_o_.size())))
+    if (scope.maybe_corrupt_reals(0, k0 + 2, setup_->inv_o_data(),
+                                  setup_->inv_o_count()))
       ++stats_.injected_faults;
   }
 
@@ -513,51 +808,22 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float>,
     return static_cast<std::int64_t>(b) * part_->num_domains() + d;
   }
 
-  // Packed-array accessors: the const overloads are the primary
-  // implementations (they never mutate), and the non-const ones forward —
-  // so const callers like verify_checksums() need no const_cast chain.
+  // Packed-array accessors: thin forwarders into the shared setup so the
+  // kernel bodies below read exactly as they did when the arrays were
+  // members.
   const S* link_ptr(int d, std::int32_t l, int mu) const noexcept {
-    return links_.data() +
-           ((static_cast<std::size_t>(d) *
-                 static_cast<std::size_t>(part_->domain_volume()) +
-             static_cast<std::size_t>(l)) *
-                kNumDims +
-            static_cast<std::size_t>(mu)) *
-               kSU3Reals;
-  }
-  S* link_ptr(int d, std::int32_t l, int mu) noexcept {
-    return const_cast<S*>(std::as_const(*this).link_ptr(d, l, mu));
+    return setup_->link_ptr(d, l, mu);
   }
   const S* diag_e_ptr(int d, std::int32_t le, int chi) const noexcept {
-    return diag_e_.data() +
-           ((static_cast<std::size_t>(d) *
-                 static_cast<std::size_t>(part_->domain_half_volume()) +
-             static_cast<std::size_t>(le)) *
-                2 +
-            static_cast<std::size_t>(chi)) *
-               kCloverBlockReals;
-  }
-  S* diag_e_ptr(int d, std::int32_t le, int chi) noexcept {
-    return const_cast<S*>(std::as_const(*this).diag_e_ptr(d, le, chi));
+    return setup_->diag_e_ptr(d, le, chi);
   }
   const S* inv_o_ptr(int d, std::int32_t lo, int chi) const noexcept {
-    return inv_o_.data() +
-           ((static_cast<std::size_t>(d) *
-                 static_cast<std::size_t>(part_->domain_half_volume()) +
-             static_cast<std::size_t>(lo)) *
-                2 +
-            static_cast<std::size_t>(chi)) *
-               kCloverBlockReals;
-  }
-  S* inv_o_ptr(int d, std::int32_t lo, int chi) noexcept {
-    return const_cast<S*>(std::as_const(*this).inv_o_ptr(d, lo, chi));
+    return setup_->inv_o_ptr(d, lo, chi);
   }
   float* buffer_ptr(std::int64_t slot, int mu, Dir dir) noexcept {
     return buffers_.data() + static_cast<std::size_t>(slot) *
                                  static_cast<std::size_t>(buffer_stride_) +
-           static_cast<std::size_t>(
-               face_offset_[static_cast<std::size_t>(mu) * 2 +
-                            (dir == Dir::kForward ? 0 : 1)]);
+           static_cast<std::size_t>(setup_->face_offset(mu, dir));
   }
 
   /// Apply the two chirality blocks at (d, site) to a spinor.
@@ -629,104 +895,6 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float>,
           out_e[le].s[sp].c[c] =
               diag.s[sp].c[c] - 0.25f * out_e[le].s[sp].c[c];
     }
-  }
-
-  std::uint32_t compute_domain_checksum(int d) const noexcept {
-    const auto vd = static_cast<std::size_t>(part_->domain_volume());
-    const auto hv = static_cast<std::size_t>(part_->domain_half_volume());
-    Fletcher32 f;
-    f.update(link_ptr(d, 0, 0), vd * kNumDims * kSU3Reals * sizeof(S));
-    f.update(diag_e_ptr(d, 0, 0), hv * 2 * kCloverBlockReals * sizeof(S));
-    f.update(inv_o_ptr(d, 0, 0), hv * 2 * kCloverBlockReals * sizeof(S));
-    return f.value();
-  }
-
-  /// Fresh Fletcher-32 of one packed component of domain d (what the
-  /// parallel verification compares against the pack-time stamp).
-  std::uint32_t component_checksum(int d, PackedComponent c) const noexcept {
-    const auto vd = static_cast<std::size_t>(part_->domain_volume());
-    const auto hv = static_cast<std::size_t>(part_->domain_half_volume());
-    switch (c) {
-      case PackedComponent::kGaugeLinks:
-        return packed_checksum(link_ptr(d, 0, 0), vd * kNumDims * kSU3Reals);
-      case PackedComponent::kCloverDiag:
-        return packed_checksum(diag_e_ptr(d, 0, 0),
-                               hv * 2 * kCloverBlockReals);
-      case PackedComponent::kCloverInv:
-        return packed_checksum(inv_o_ptr(d, 0, 0),
-                               hv * 2 * kCloverBlockReals);
-    }
-    return 0;
-  }
-
-  /// Mutable storage range of one packed component of domain d (the
-  /// deterministic corruption hook's target).
-  void component_range(int d, PackedComponent c, S*& data,
-                       std::int64_t& count) noexcept {
-    const std::int64_t vd = part_->domain_volume();
-    const std::int64_t hv = part_->domain_half_volume();
-    switch (c) {
-      case PackedComponent::kGaugeLinks:
-        data = link_ptr(d, 0, 0);
-        count = vd * kNumDims * kSU3Reals;
-        break;
-      case PackedComponent::kCloverDiag:
-        data = diag_e_ptr(d, 0, 0);
-        count = hv * 2 * kCloverBlockReals;
-        break;
-      case PackedComponent::kCloverInv:
-        data = inv_o_ptr(d, 0, 0);
-        count = hv * 2 * kCloverBlockReals;
-        break;
-    }
-  }
-
-  /// Pack (or re-pack) domain d from the source operator and stamp its
-  /// per-component and combined checksums. The constructor's pack loop
-  /// and the ABFT rung-1 repair are the same code path, so a repair is
-  /// bit-identical to the original pack by construction.
-  void pack_domain(int d) {
-    const std::int32_t vd = part_->domain_volume();
-    const std::int32_t hv = part_->domain_half_volume();
-    const auto& gauge = op_->gauge();
-    const auto& clover = op_->clover();
-    for (std::int32_t l = 0; l < vd; ++l) {
-      const std::int32_t g = part_->global_site(d, l);
-      for (int mu = 0; mu < kNumDims; ++mu)
-        store_su3(gauge.link(g, mu), link_ptr(d, l, mu));
-      if (l < hv) {
-        for (int chi = 0; chi < 2; ++chi)
-          store_block(clover.block(g, chi), diag_e_ptr(d, l, chi));
-      } else {
-        for (int chi = 0; chi < 2; ++chi)
-          store_block(clover.inv_block(g, chi), inv_o_ptr(d, l - hv, chi));
-      }
-    }
-    DomainSums& s = sums_[static_cast<std::size_t>(d)];
-    s.links = component_checksum(d, PackedComponent::kGaugeLinks);
-    s.diag = component_checksum(d, PackedComponent::kCloverDiag);
-    s.inv = component_checksum(d, PackedComponent::kCloverInv);
-    checksums_[static_cast<std::size_t>(d)] = compute_domain_checksum(d);
-  }
-
-  /// Field-level Fletcher-32 over the source clover blocks (forward and
-  /// inverse), the clover half of the source_intact() verification.
-  std::uint32_t clover_content_checksum() const {
-    const auto volume =
-        static_cast<std::int32_t>(part_->geometry().volume());
-    const auto& clover = op_->clover();
-    Fletcher32 f;
-    for (std::int32_t g = 0; g < volume; ++g)
-      for (int chi = 0; chi < 2; ++chi) {
-        f.update(&clover.block(g, chi), sizeof(PackedHermitian6<float>));
-        f.update(&clover.inv_block(g, chi), sizeof(PackedHermitian6<float>));
-      }
-    return f.value();
-  }
-
-  void stamp_source() {
-    source_gauge_sum_ = op_->gauge().content_checksum();
-    source_clover_sum_ = clover_content_checksum();
   }
 
   std::int64_t schur_flops() const noexcept {
@@ -905,12 +1073,11 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float>,
   /// domains.
   void consume_buffers_of(int d, std::int64_t slot, FermionField<float>& r) {
     for (int mu = 0; mu < kNumDims; ++mu) {
-      const auto mu_s = static_cast<std::size_t>(mu);
       // Producer's forward face -> consumer's backward boundary sites.
       {
         const int nd = part_->neighbor_domain(d, mu, Dir::kForward);
         const float* buf = buffer_ptr(slot, mu, Dir::kForward);
-        const auto& partners = partner_fwd_[mu_s];
+        const auto& partners = setup_->partner_fwd(mu);
         for (std::size_t i = 0; i < partners.size(); ++i) {
           const HalfSpinor<float> h = read_halfspinor(buf + i * 12);
           const std::int32_t g = part_->global_site(nd, partners[i]);
@@ -927,7 +1094,7 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float>,
       {
         const int nd = part_->neighbor_domain(d, mu, Dir::kBackward);
         const float* buf = buffer_ptr(slot, mu, Dir::kBackward);
-        const auto& partners = partner_bwd_[mu_s];
+        const auto& partners = setup_->partner_bwd(mu);
         for (std::size_t i = 0; i < partners.size(); ++i) {
           const HalfSpinor<float> raw = read_halfspinor(buf + i * 12);
           const std::int32_t pl = partners[i];
@@ -1427,32 +1594,16 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float>,
                            r_batch_[static_cast<std::size_t>(b)]);
   }
 
-  /// Per-domain pack-time checksums, one per packed component, so a
-  /// verification failure localizes to (domain, component).
-  struct DomainSums {
-    std::uint32_t links = 0;
-    std::uint32_t diag = 0;
-    std::uint32_t inv = 0;
-  };
-
+  /// Shared per-configuration packed state (matrices, checksums,
+  /// geometry tables). Everything below it is per-instance mutable
+  /// per-solve state.
+  std::shared_ptr<SchwarzSetup<S>> setup_;
   const DomainPartition* part_;
-  const WilsonCloverOperator<float>* op_;  ///< authoritative pack source
   SchwarzParams params_;
   SchwarzStats stats_;
 
-  AlignedVector<S> links_;   // [domain][local][mu][18]
-  AlignedVector<S> diag_e_;  // [domain][even local][chi][36]
-  AlignedVector<S> inv_o_;   // [domain][odd local][chi][36]
-  std::vector<std::uint32_t> checksums_;  // pack-time ABFT, one per domain
-  std::vector<DomainSums> sums_;          // per-component localization
-  std::uint32_t source_gauge_sum_ = 0;    // field-level source checksums
-  std::uint32_t source_clover_sum_ = 0;
-
   AlignedVector<float> buffers_;
   std::int64_t buffer_stride_ = 0;
-  std::int64_t face_offset_[2 * kNumDims] = {};
-  std::vector<std::int32_t> partner_fwd_[kNumDims];
-  std::vector<std::int32_t> partner_bwd_[kNumDims];
   std::int64_t hops_per_parity_ = 0;
 
   /// Residual fields, one per RHS of the widest batch seen so far.

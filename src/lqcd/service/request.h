@@ -1,0 +1,52 @@
+// SolverService request/result types.
+//
+// A SolveRequest is one right-hand side against one gauge configuration.
+// Clients own the gauge field (it must stay alive and UNMUTATED until the
+// request completes — the service verifies this via the same Fletcher-32
+// checksum that keys the setup cache and backs the stale-setup guard);
+// the source spinor field is moved into the request and the solution is
+// moved out through the result.
+#pragma once
+
+#include <cstdint>
+
+#include "lqcd/core/dd_solver.h"
+
+namespace lqcd {
+
+/// One propagator right-hand side submitted to the SolverService.
+struct SolveRequest {
+  /// Geometry and gauge configuration to solve on. Both must outlive the
+  /// request's completion. The gauge field should already carry its
+  /// boundary phases (make_time_antiperiodic()).
+  const Geometry* geom = nullptr;
+  const GaugeField<double>* gauge = nullptr;
+  FermionField<double> source;  ///< right-hand side b (moved in)
+  double mass = 0.0;
+  double csw = 0.0;
+  /// Per-request relative residual target. Requests with different
+  /// tolerances still batch together: each lane converges at its own
+  /// target (DDSolver per-lane tolerances).
+  double tolerance = 1e-10;
+  /// Soft latency budget in seconds from submission, 0 = none. A request
+  /// is never dropped: an overrun is flagged in SolveResult so the
+  /// client decides what a late propagator is worth.
+  double deadline_seconds = 0.0;
+};
+
+/// Completed solve, delivered through the std::future returned by
+/// SolverService::submit().
+struct SolveResult {
+  std::uint64_t id = 0;            ///< submission ticket (FIFO order)
+  std::uint64_t completion_index = 0;  ///< global completion order
+  FermionField<double> solution;   ///< x with A x = b to `tolerance`
+  SolverStats stats;               ///< per-lane outer-solver stats
+  double queue_seconds = 0.0;      ///< submit -> dispatch
+  double solve_seconds = 0.0;      ///< dispatch -> done (whole batch)
+  double total_seconds = 0.0;      ///< submit -> done
+  int batch_lanes = 0;             ///< lanes in the dispatched batch
+  bool setup_cache_hit = false;    ///< configuration setup was reused
+  bool deadline_missed = false;    ///< total_seconds > deadline_seconds
+};
+
+}  // namespace lqcd

@@ -1,0 +1,140 @@
+// Lane-packing batch scheduler for the SolverService.
+//
+// Requests queue FIFO. A dispatch takes the queue head, then packs every
+// queued request with the SAME SetupKey (same packed matrices, same
+// operator — the only requests DDSolver::solve_batch() can run in
+// lockstep) into one batch, up to max_lanes. If the batch is not full the
+// scheduler holds the head for at most window_seconds from its submission
+// before flushing a partial batch: bounded batching delay, never
+// unbounded waiting for lane-mates that may not come.
+//
+// Fairness: the queue head is in EVERY dispatched batch, so a request
+// waits at most window_seconds plus the solves ahead of it — a stream of
+// hot-configuration requests cannot starve a cold-configuration one.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "lqcd/base/timer.h"
+#include "lqcd/schwarz/storage.h"
+#include "lqcd/service/request.h"
+#include "lqcd/service/setup_cache.h"
+
+namespace lqcd {
+
+struct BatchPolicy {
+  /// Lane cap per dispatch. Multiples of kRhsSimdWidth waste no padding
+  /// lanes in the batched Schwarz sweep; the default (2 SIMD groups)
+  /// balances streaming amortization against batching delay.
+  int max_lanes = 2 * kRhsSimdWidth;
+  /// Maximum time a queue head may wait for lane-mates before a partial
+  /// batch is flushed.
+  double window_seconds = 0.05;
+};
+
+/// A submitted request waiting for dispatch.
+struct PendingRequest {
+  std::uint64_t id = 0;
+  SolveRequest request;
+  SetupKey key;
+  std::promise<SolveResult> promise;
+  Timer queued;  ///< started at submission; read at dispatch & completion
+};
+
+class BatchScheduler {
+ public:
+  explicit BatchScheduler(BatchPolicy policy) : policy_(policy) {
+    LQCD_CHECK(policy_.max_lanes >= 1);
+  }
+
+  void push(PendingRequest&& p) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(p));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocking dispatch for worker threads: waits for a head request, then
+  /// for the batch to fill or the head's batching window to expire.
+  /// Returns an empty vector only after close().
+  std::vector<PendingRequest> next_batch() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return {};  // closed and drained
+      // Hold the head while lane-mates may still arrive.
+      while (!closed_) {
+        if (count_head_key_locked() >= policy_.max_lanes) break;
+        const double remain =
+            policy_.window_seconds - queue_.front().queued.seconds();
+        if (remain <= 0.0) break;
+        cv_.wait_for(lock, std::chrono::duration<double>(remain));
+        if (queue_.empty()) break;  // another worker took the head
+      }
+      if (!queue_.empty()) return gather_locked();
+    }
+  }
+
+  /// Non-blocking dispatch for synchronous drain() mode: the window is
+  /// treated as already expired — whatever matches the head goes now.
+  std::vector<PendingRequest> try_next_batch() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return {};
+    return gather_locked();
+  }
+
+  /// Wake every waiter; subsequent next_batch() calls still drain queued
+  /// requests, then return empty.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  int count_head_key_locked() const {
+    const SetupKey& key = queue_.front().key;
+    int n = 0;
+    for (const auto& p : queue_)
+      if (p.key == key) ++n;
+    return n;
+  }
+
+  /// Extract the head and every queued request sharing its key, FIFO
+  /// order, up to max_lanes. Requires the lock held and a non-empty queue.
+  std::vector<PendingRequest> gather_locked() {
+    std::vector<PendingRequest> batch;
+    const SetupKey key = queue_.front().key;
+    std::vector<PendingRequest> keep;
+    keep.reserve(queue_.size());
+    for (auto& p : queue_) {
+      if (p.key == key && static_cast<int>(batch.size()) < policy_.max_lanes)
+        batch.push_back(std::move(p));
+      else
+        keep.push_back(std::move(p));
+    }
+    queue_ = std::move(keep);
+    return batch;
+  }
+
+  BatchPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<PendingRequest> queue_;  ///< FIFO: front = oldest
+  bool closed_ = false;
+};
+
+}  // namespace lqcd

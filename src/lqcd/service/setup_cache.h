@@ -1,0 +1,173 @@
+// Per-configuration setup cache for the SolverService.
+//
+// A DDSolverSetup (operators, domain partition, packed Schwarz matrices)
+// is the expensive, immutable part of a solve. The service caches one per
+// (gauge checksum, mass, csw) key with LRU eviction, and hangs a small
+// pool of solver contexts — DDSolver scratch plus the persistent
+// deflation RecycleCache — off each entry so consecutive batches on the
+// same configuration skip both the re-pack AND the solo deflation-seeding
+// solve.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "lqcd/core/dd_solver.h"
+
+namespace lqcd {
+
+/// Identity of a cached setup. Two requests are batchable exactly when
+/// their keys are equal: same packed matrices, same operator.
+struct SetupKey {
+  std::uint32_t gauge_checksum = 0;  ///< GaugeField::content_checksum()
+  double mass = 0.0;
+  double csw = 0.0;
+
+  friend bool operator==(const SetupKey& a, const SetupKey& b) noexcept {
+    return a.gauge_checksum == b.gauge_checksum && a.mass == b.mass &&
+           a.csw == b.csw;
+  }
+  friend bool operator!=(const SetupKey& a, const SetupKey& b) noexcept {
+    return !(a == b);
+  }
+};
+
+struct SetupCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  friend bool operator==(const SetupCacheStats& a,
+                         const SetupCacheStats& b) noexcept {
+    return a.hits == b.hits && a.misses == b.misses &&
+           a.evictions == b.evictions;
+  }
+};
+
+/// One cached configuration: the shared immutable setup plus a pool of
+/// per-solve contexts. A context bundles the mutable half of a solver
+/// (Schwarz scratch, adapters, monitors) with the configuration's
+/// persistent deflation subspace.
+class CachedConfiguration {
+ public:
+  /// A solver context leased to one dispatch at a time.
+  struct Context {
+    std::unique_ptr<DDSolver> solver;
+    RecycleCache recycle;
+    bool busy = false;
+  };
+
+  CachedConfiguration(SetupKey key, std::shared_ptr<DDSolverSetup> setup,
+                      const DDSolverConfig& config)
+      : key_(key), setup_(std::move(setup)), config_(config) {
+    // In-solve ABFT repair mutates the SHARED packed matrices, so a
+    // configuration whose solves may self-heal gets exactly one context:
+    // concurrent dispatches serialize instead of racing a repair.
+    const bool in_solve_repair =
+        config_.resilience.enabled && config_.resilience.abft.enabled;
+    max_contexts_ = in_solve_repair ? 1 : 0;  // 0 = unbounded
+  }
+
+  const SetupKey& key() const noexcept { return key_; }
+  const std::shared_ptr<DDSolverSetup>& setup() const noexcept {
+    return setup_;
+  }
+
+  /// Lease a free context, growing the pool if allowed. Returns nullptr
+  /// when the pool is at its cap and fully leased (caller backs off and
+  /// retries; the service wraps this in acquire-with-wait).
+  Context* try_acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& c : contexts_)
+      if (!c->busy) {
+        c->busy = true;
+        return c.get();
+      }
+    if (max_contexts_ > 0 &&
+        contexts_.size() >= static_cast<std::size_t>(max_contexts_))
+      return nullptr;
+    contexts_.push_back(std::make_unique<Context>());
+    Context* c = contexts_.back().get();
+    c->solver = std::make_unique<DDSolver>(setup_, config_);
+    c->recycle.gauge_key = setup_->gauge_checksum();
+    c->busy = true;
+    return c;
+  }
+
+  void release(Context* c) {
+    std::lock_guard<std::mutex> lock(mu_);
+    c->busy = false;
+  }
+
+ private:
+  SetupKey key_;
+  std::shared_ptr<DDSolverSetup> setup_;
+  DDSolverConfig config_;
+  int max_contexts_ = 0;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+};
+
+/// LRU map SetupKey -> CachedConfiguration, capacity in configurations.
+/// Thread-safe; a looked-up entry is returned as a shared_ptr so eviction
+/// can never pull a setup out from under an in-flight dispatch.
+class SetupCache {
+ public:
+  explicit SetupCache(std::size_t capacity) : capacity_(capacity) {
+    LQCD_CHECK(capacity_ >= 1);
+  }
+
+  /// Look up (hit) or build (miss, possibly evicting LRU) the entry for
+  /// `key`. The build — operators plus full Schwarz pack — runs under the
+  /// cache lock: concurrent requests for the same new configuration wait
+  /// and then hit, rather than packing the same matrices twice.
+  /// `was_hit` (optional) reports which path was taken.
+  std::shared_ptr<CachedConfiguration> acquire(
+      const SetupKey& key, const Geometry& geom,
+      const GaugeField<double>& gauge, const DDSolverConfig& config,
+      bool* was_hit = nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if ((*it)->key() == key) {
+        lru_.splice(lru_.begin(), lru_, it);  // move-to-front
+        ++stats_.hits;
+        if (was_hit != nullptr) *was_hit = true;
+        return lru_.front();
+      }
+    }
+    ++stats_.misses;
+    if (was_hit != nullptr) *was_hit = false;
+    if (lru_.size() >= capacity_) {
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+    auto setup = std::make_shared<DDSolverSetup>(geom, gauge, key.mass,
+                                                 key.csw, config);
+    lru_.push_front(
+        std::make_shared<CachedConfiguration>(key, std::move(setup), config));
+    return lru_.front();
+  }
+
+  SetupCacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.size();
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  /// Front = most recently used. Linear scan is fine: capacity is a
+  /// handful of configurations, each worth megabytes of packed matrices.
+  std::list<std::shared_ptr<CachedConfiguration>> lru_;
+  SetupCacheStats stats_;
+};
+
+}  // namespace lqcd

@@ -1,0 +1,151 @@
+#include "lqcd/service/solver_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lqcd {
+
+SolverService::SolverService(SolverServiceConfig config)
+    : config_(config),
+      scheduler_(config.batch),
+      cache_(config.setup_cache_capacity) {
+  LQCD_CHECK(config_.worker_threads >= 0);
+  workers_.reserve(static_cast<std::size_t>(config_.worker_threads));
+  for (int t = 0; t < config_.worker_threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+SolverService::~SolverService() { shutdown(); }
+
+std::future<SolveResult> SolverService::submit(SolveRequest request) {
+  LQCD_CHECK_MSG(request.geom != nullptr && request.gauge != nullptr,
+                 "submit() needs a geometry and a gauge configuration");
+  LQCD_CHECK_MSG(request.source.size() == request.geom->volume(),
+                 "source size must match the lattice volume");
+  PendingRequest p;
+  p.id = next_id_.fetch_add(1);
+  // Client-thread checksum: the cache key, and the reference the solver's
+  // stale-setup guard re-verifies at dispatch.
+  p.key = SetupKey{request.gauge->content_checksum(), request.mass,
+                   request.csw};
+  p.request = std::move(request);
+  std::future<SolveResult> fut = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
+  }
+  scheduler_.push(std::move(p));
+  return fut;
+}
+
+void SolverService::drain() {
+  for (;;) {
+    std::vector<PendingRequest> batch = scheduler_.try_next_batch();
+    if (batch.empty()) return;
+    dispatch(std::move(batch));
+  }
+}
+
+void SolverService::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  scheduler_.close();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  drain();  // synchronous mode, or anything pushed after close
+}
+
+ServiceStats SolverService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ServiceStats s = stats_;
+  s.cache = cache_.stats();
+  return s;
+}
+
+void SolverService::worker_loop() {
+  for (;;) {
+    std::vector<PendingRequest> batch = scheduler_.next_batch();
+    if (batch.empty()) return;
+    dispatch(std::move(batch));
+  }
+}
+
+void SolverService::dispatch(std::vector<PendingRequest> batch) {
+  const int nrhs = static_cast<int>(batch.size());
+  const SetupKey key = batch.front().key;
+  const SolveRequest& head = batch.front().request;
+
+  bool cache_hit = false;
+  std::shared_ptr<CachedConfiguration> conf = cache_.acquire(
+      key, *head.geom, *head.gauge, config_.solver, &cache_hit);
+
+  // Lease a solver context. nullptr only when the configuration caps its
+  // pool (in-solve ABFT repair mutates shared packed data) and every
+  // context is leased — back off until a concurrent dispatch finishes.
+  CachedConfiguration::Context* ctx = conf->try_acquire();
+  while (ctx == nullptr) {
+    std::this_thread::yield();
+    ctx = conf->try_acquire();
+  }
+
+  std::vector<double> queue_seconds(static_cast<std::size_t>(nrhs));
+  std::vector<FermionField<double>> b;
+  b.reserve(static_cast<std::size_t>(nrhs));
+  std::vector<FermionField<double>> x;
+  x.reserve(static_cast<std::size_t>(nrhs));
+  BatchSolveOptions options;
+  options.tolerances.reserve(static_cast<std::size_t>(nrhs));
+  options.recycle = &ctx->recycle;
+  for (int i = 0; i < nrhs; ++i) {
+    const auto li = static_cast<std::size_t>(i);
+    queue_seconds[li] = batch[li].queued.seconds();
+    options.tolerances.push_back(batch[li].request.tolerance);
+    b.push_back(std::move(batch[li].request.source));
+    x.emplace_back(b.back().size());  // zero initial guess
+  }
+
+  Timer solve_timer;
+  std::vector<SolverStats> stats = ctx->solver->solve_batch(b, x, options);
+  const double solve_seconds = solve_timer.seconds();
+  conf->release(ctx);
+
+  std::vector<SolveResult> results(static_cast<std::size_t>(nrhs));
+  std::uint64_t n_converged = 0;
+  std::uint64_t n_deadline_missed = 0;
+  for (int i = 0; i < nrhs; ++i) {
+    const auto li = static_cast<std::size_t>(i);
+    SolveResult& res = results[li];
+    res.id = batch[li].id;
+    res.completion_index = completion_counter_.fetch_add(1);
+    res.solution = std::move(x[li]);
+    res.stats = stats[li];
+    res.queue_seconds = queue_seconds[li];
+    res.solve_seconds = solve_seconds;
+    res.total_seconds = batch[li].queued.seconds();
+    res.batch_lanes = nrhs;
+    res.setup_cache_hit = cache_hit;
+    const double deadline = batch[li].request.deadline_seconds;
+    res.deadline_missed = deadline > 0.0 && res.total_seconds > deadline;
+    if (res.stats.converged) ++n_converged;
+    if (res.deadline_missed) ++n_deadline_missed;
+  }
+
+  // Commit the counters BEFORE fulfilling any promise: a client that
+  // observed its future ready must find this batch already reflected in
+  // stats().
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.completed += static_cast<std::uint64_t>(nrhs);
+    ++stats_.batches;
+    if (nrhs < config_.batch.max_lanes) ++stats_.partial_batches;
+    stats_.lanes_solved += static_cast<std::uint64_t>(nrhs);
+    stats_.converged += n_converged;
+    stats_.deadline_misses += n_deadline_missed;
+  }
+  for (int i = 0; i < nrhs; ++i) {
+    const auto li = static_cast<std::size_t>(i);
+    batch[li].promise.set_value(std::move(results[li]));
+  }
+}
+
+}  // namespace lqcd

@@ -1,0 +1,114 @@
+// SolverService — a persistent propagator farm in front of DDSolver.
+//
+//   client threads                service
+//   -------------                 ------------------------------------
+//   submit(SolveRequest) ──────▶  BatchScheduler (FIFO + lane packing)
+//        │ future<SolveResult>        │ next_batch(): same-key requests,
+//        ▼                            ▼ bounded batching window
+//   future.get()  ◀────────────  worker: SetupCache (LRU, checksum-keyed)
+//                                  └▶ DDSolver::solve_batch (lockstep
+//                                     lanes, per-lane tolerances,
+//                                     persistent deflation recycling)
+//
+// The setup cache pays the packed gauge/clover construction once per
+// configuration; the per-configuration RecycleCache carries the deflation
+// subspace across batches so later batches skip the solo seeding solve.
+// With worker_threads = 0 the service runs synchronously: submit() only
+// queues, drain() dispatches inline on the caller's thread — the
+// deterministic mode the unit tests use.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "lqcd/service/request.h"
+#include "lqcd/service/scheduler.h"
+#include "lqcd/service/setup_cache.h"
+
+namespace lqcd {
+
+struct SolverServiceConfig {
+  /// Base solver configuration for every context the service builds.
+  /// `solver.tolerance` is the default; each request's own tolerance is
+  /// applied per lane at dispatch.
+  DDSolverConfig solver;
+  BatchPolicy batch;
+  /// LRU capacity of the per-configuration setup cache.
+  std::size_t setup_cache_capacity = 4;
+  /// Dispatch threads. 0 = synchronous mode: no threads, the caller
+  /// pumps dispatches via drain().
+  int worker_threads = 1;
+};
+
+/// Aggregate service counters. All fields are functions of WHAT was
+/// submitted, not of thread interleaving, provided dispatch composition
+/// is deterministic (e.g. submissions land within the batching window) —
+/// which is what the 1-vs-N-thread parity test pins down.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t partial_batches = 0;  ///< dispatched below max_lanes
+  std::uint64_t lanes_solved = 0;
+  std::uint64_t converged = 0;
+  std::uint64_t deadline_misses = 0;
+  SetupCacheStats cache;
+
+  friend bool operator==(const ServiceStats& a,
+                         const ServiceStats& b) noexcept {
+    return a.submitted == b.submitted && a.completed == b.completed &&
+           a.batches == b.batches && a.partial_batches == b.partial_batches &&
+           a.lanes_solved == b.lanes_solved && a.converged == b.converged &&
+           a.deadline_misses == b.deadline_misses && a.cache == b.cache;
+  }
+};
+
+class SolverService {
+ public:
+  explicit SolverService(SolverServiceConfig config);
+  /// Drains every queued request, then joins the workers.
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Enqueue one right-hand side. The gauge checksum (= setup-cache key,
+  /// stale-setup reference) is computed HERE, on the client's thread,
+  /// keeping the Fletcher-32 pass off the dispatch path. The request's
+  /// source is consumed.
+  std::future<SolveResult> submit(SolveRequest request);
+
+  /// Dispatch queued requests inline on the calling thread until the
+  /// queue is empty. The synchronous pump for worker_threads = 0 (legal
+  /// but rarely useful alongside workers).
+  void drain();
+
+  /// Stop accepting blocking waits, drain the queue, join the workers.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  ServiceStats stats() const;
+  const SolverServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  void worker_loop();
+  /// Run one batch end-to-end and fulfill its promises.
+  void dispatch(std::vector<PendingRequest> batch);
+
+  SolverServiceConfig config_;
+  BatchScheduler scheduler_;
+  SetupCache cache_;
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> completion_counter_{0};
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;  ///< cache field filled from cache_ on read
+  std::vector<std::thread> workers_;
+  bool shut_down_ = false;
+};
+
+}  // namespace lqcd

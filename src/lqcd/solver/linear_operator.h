@@ -73,6 +73,7 @@ enum class Breakdown {
   kStagnation,      ///< no usable search direction / no residual decrease
   kMaxIterations,   ///< iteration budget exhausted
   kDataCorruption,  ///< ABFT: corrupt data with no verified repair source
+  kStaleSetup,      ///< gauge field mutated after setup was packed; no solve ran
 };
 
 inline const char* to_string(Breakdown b) noexcept {
@@ -83,6 +84,7 @@ inline const char* to_string(Breakdown b) noexcept {
     case Breakdown::kStagnation: return "stagnation";
     case Breakdown::kMaxIterations: return "max_iterations";
     case Breakdown::kDataCorruption: return "data_corruption";
+    case Breakdown::kStaleSetup: return "stale_setup";
   }
   return "?";
 }

@@ -395,5 +395,176 @@ TEST(WorkModel, MatrixBytesChargedOncePerBatchedVisit) {
   EXPECT_LT(ai12, 12.0 * ai1);
 }
 
+// ---------------------------------------------------------------------------
+// Bugfix regressions: per-lane tolerances, stale-setup detection,
+// cross-configuration recycle poisoning.
+// ---------------------------------------------------------------------------
+
+TEST(BatchSolveOptions, MixedToleranceLanesEachReachTheirOwnTarget) {
+  // Regression: batching a tight-tolerance request with looser lane-mates
+  // must not declare the tight lane converged at a looser threshold. Each
+  // engine carries its own FGMRESDRParams, so the tight lane keeps
+  // iterating after the loose lanes stop.
+  Problem prob({8, 8, 8, 8}, 0.7, 401);
+  DDSolverConfig cfg = batch_config();
+  DDSolver solver(prob.geom, prob.gauge, 0.1, 1.0, cfg);
+
+  const std::vector<double> tols = {1e-4, 1e-10, 1e-7};
+  std::vector<FermionField<double>> b, x;
+  for (std::size_t i = 0; i < tols.size(); ++i) {
+    b.emplace_back(prob.geom.volume());
+    gaussian(b.back(), 500 + i);
+    x.emplace_back(prob.geom.volume());
+  }
+
+  BatchSolveOptions options;
+  options.tolerances = tols;
+  const auto st = solver.solve_batch(b, x, options);
+  ASSERT_EQ(st.size(), tols.size());
+  for (std::size_t i = 0; i < tols.size(); ++i) {
+    EXPECT_TRUE(st[i].converged) << "lane " << i;
+    // The lane's TRUE residual must meet the lane's OWN target.
+    EXPECT_LE(true_relative_residual(solver.op(), b[i], x[i]), tols[i])
+        << "lane " << i;
+  }
+  // The 1e-10 lane cannot have been stopped at the 1e-4 lane's target.
+  EXPECT_LE(st[1].final_relative_residual, 1e-10);
+  EXPECT_GT(st[1].iterations, st[0].iterations);
+}
+
+TEST(StaleSetup, MutatedGaugeFieldIsRefusedAtSolveEntry) {
+  // Regression: the packed Schwarz matrices are a snapshot of the gauge
+  // field at construction. Mutating the field afterwards (an HMC step,
+  // a smearing pass) and solving again used to silently solve the OLD
+  // operator; now the entry check refuses with a structured breakdown.
+  Problem prob({8, 8, 8, 8}, 0.7, 411);
+  DDSolverConfig cfg = batch_config();
+  DDSolver solver(prob.geom, prob.gauge, 0.1, 1.0, cfg);
+
+  FermionField<double> x(prob.geom.volume());
+  ASSERT_TRUE(solver.solve(prob.b, x).converged);
+
+  prob.gauge.link(0, 0) = Complex<double>(1.5, 0.0) * prob.gauge.link(0, 0);
+
+  FermionField<double> x2(prob.geom.volume());
+  const auto st = solver.solve(prob.b, x2);
+  EXPECT_FALSE(st.converged);
+  EXPECT_EQ(st.breakdown, Breakdown::kStaleSetup);
+  EXPECT_EQ(st.iterations, 0);  // no arithmetic ran
+  EXPECT_EQ(norm(x2), 0.0);     // iterate untouched
+
+  std::vector<FermionField<double>> b{prob.b},
+      xb{FermionField<double>(prob.geom.volume())};
+  const auto stb = solver.solve_batch(b, xb);
+  ASSERT_EQ(stb.size(), 1u);
+  EXPECT_EQ(stb[0].breakdown, Breakdown::kStaleSetup);
+
+  // Rebuilding on the mutated field clears the condition.
+  DDSolver rebuilt(prob.geom, prob.gauge, 0.1, 1.0, cfg);
+  FermionField<double> x3(prob.geom.volume());
+  EXPECT_TRUE(rebuilt.solve(prob.b, x3).converged);
+}
+
+TEST(RecycleCache, PersistentSubspaceSkipsSeedSolveOnNextBatch) {
+  // A second batch on the SAME configuration finds a valid recycled
+  // subspace in the cache: no solo seeding solve, every lane projects
+  // its initial residual (recycle_projections > 0 for lane 0 too).
+  Problem prob({8, 8, 8, 8}, 0.7, 421);
+  DDSolverConfig cfg = batch_config();
+  DDSolver solver(prob.geom, prob.gauge, 0.1, 1.0, cfg);
+
+  RecycleCache cache;
+  BatchSolveOptions options;
+  options.recycle = &cache;
+
+  auto make_batch = [&](std::uint64_t seed, int n) {
+    std::vector<FermionField<double>> f;
+    for (int i = 0; i < n; ++i) {
+      f.emplace_back(prob.geom.volume());
+      gaussian(f.back(), seed + static_cast<std::uint64_t>(i));
+    }
+    return f;
+  };
+
+  auto b1 = make_batch(600, 3);
+  std::vector<FermionField<double>> x1(3);
+  for (auto& x : x1) x = FermionField<double>(prob.geom.volume());
+  const auto s1 = solver.solve_batch(b1, x1, options);
+  ASSERT_TRUE(s1[0].converged);
+  EXPECT_EQ(s1[0].recycle_projections, 0);  // lane 0 seeded the subspace
+  ASSERT_TRUE(cache.space.valid());
+  EXPECT_EQ(cache.gauge_key, prob.gauge.content_checksum());
+
+  auto b2 = make_batch(700, 3);
+  std::vector<FermionField<double>> x2(3);
+  for (auto& x : x2) x = FermionField<double>(prob.geom.volume());
+  const auto s2 = solver.solve_batch(b2, x2, options);
+  for (std::size_t i = 0; i < s2.size(); ++i) {
+    EXPECT_TRUE(s2[i].converged) << "lane " << i;
+    EXPECT_GT(s2[i].recycle_projections, 0) << "lane " << i;
+    EXPECT_LE(true_relative_residual(solver.op(), b2[i], x2[i]),
+              cfg.tolerance)
+        << "lane " << i;
+  }
+}
+
+TEST(RecycleCache, ConfigurationFlipDiscardsHarvestedSubspace) {
+  // Regression: a harmonic-Ritz subspace harvested on configuration A is
+  // meaningless on configuration B. Presenting A's cache to B's solver
+  // must silently discard the subspace and re-key the cache — never
+  // project against it.
+  Problem prob_a({8, 8, 8, 8}, 0.7, 431);
+  Problem prob_b({8, 8, 8, 8}, 0.7, 441);  // different configuration
+  DDSolverConfig cfg = batch_config();
+  DDSolver solver_a(prob_a.geom, prob_a.gauge, 0.1, 1.0, cfg);
+  DDSolver solver_b(prob_b.geom, prob_b.gauge, 0.1, 1.0, cfg);
+
+  RecycleCache cache;
+  BatchSolveOptions options;
+  options.recycle = &cache;
+
+  std::vector<FermionField<double>> ba{prob_a.b},
+      xa{FermionField<double>(prob_a.geom.volume())};
+  ASSERT_TRUE(solver_a.solve_batch(ba, xa, options)[0].converged);
+  ASSERT_TRUE(cache.space.valid());
+  const std::uint32_t key_a = cache.gauge_key;
+
+  std::vector<FermionField<double>> bb{prob_b.b},
+      xb{FermionField<double>(prob_b.geom.volume())};
+  const auto sb = solver_b.solve_batch(bb, xb, options);
+  ASSERT_TRUE(sb[0].converged);
+  // The flip was detected: A's subspace was dropped (no projection) and
+  // the cache now belongs to B.
+  EXPECT_EQ(sb[0].recycle_projections, 0);
+  EXPECT_NE(cache.gauge_key, key_a);
+  EXPECT_EQ(cache.gauge_key, prob_b.gauge.content_checksum());
+  EXPECT_LE(true_relative_residual(solver_b.op(), bb[0], xb[0]),
+            cfg.tolerance);
+}
+
+TEST(SharedSetup, TwoSolversOnOneSetupMatchIndependentSolvers) {
+  // The service path: many DDSolver instances attached to one
+  // DDSolverSetup must behave exactly like independently constructed
+  // solvers (the setup is immutable during fault-free solves).
+  Problem prob({8, 8, 8, 8}, 0.7, 451);
+  DDSolverConfig cfg = batch_config();
+  auto setup = std::make_shared<DDSolverSetup>(prob.geom, prob.gauge, 0.1,
+                                               1.0, cfg);
+  DDSolver shared_1(setup, cfg);
+  DDSolver shared_2(setup, cfg);
+  DDSolver independent(prob.geom, prob.gauge, 0.1, 1.0, cfg);
+
+  FermionField<double> x1(prob.geom.volume()), x2(prob.geom.volume()),
+      x3(prob.geom.volume());
+  const auto s1 = shared_1.solve(prob.b, x1);
+  const auto s2 = shared_2.solve(prob.b, x2);
+  const auto s3 = independent.solve(prob.b, x3);
+  ASSERT_TRUE(s1.converged);
+  EXPECT_EQ(s1.iterations, s3.iterations);
+  EXPECT_EQ(s1.residual_history, s3.residual_history);
+  EXPECT_EQ(field_diff_norm(x1, x3), 0.0);
+  EXPECT_EQ(field_diff_norm(x2, x3), 0.0);
+}
+
 }  // namespace
 }  // namespace lqcd

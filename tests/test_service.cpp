@@ -1,0 +1,347 @@
+// SolverService: lane-packing batch scheduler, checksum-keyed setup
+// cache, persistent deflation recycling, and the service-level
+// determinism guarantees (FIFO fairness, batch-of-1 bit-identity with
+// the direct solver, thread-count-invariant stats under fault
+// injection).
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "lqcd/service/request.h"
+#include "lqcd/service/scheduler.h"
+#include "lqcd/service/setup_cache.h"
+#include "lqcd/service/solver_service.h"
+
+namespace lqcd {
+namespace {
+
+struct Problem {
+  Geometry geom;
+  GaugeField<double> gauge;
+
+  Problem(const Coord& dims, double disorder, std::uint64_t seed)
+      : geom(dims), gauge([&] {
+          auto g = random_gauge_field<double>(geom, disorder, seed);
+          g.make_time_antiperiodic();
+          return g;
+        }()) {}
+};
+
+double field_diff_norm(const FermionField<double>& a,
+                       const FermionField<double>& b) {
+  FermionField<double> d(a.size());
+  sub(a, b, d);
+  return norm(d);
+}
+
+/// Small, fast solver configuration (16 domains on the 8x4x4x4 test
+/// lattice). Deliberately weak preconditioner and tiny basis so solves
+/// span multiple FGMRES-DR cycles — deflated restarts must occur for a
+/// recyclable subspace to be harvested at all.
+DDSolverConfig service_solver_config() {
+  DDSolverConfig cfg;
+  cfg.block = {4, 2, 2, 2};
+  cfg.basis_size = 4;
+  cfg.deflation_size = 2;
+  cfg.schwarz_iterations = 1;
+  cfg.block_mr_iterations = 1;
+  cfg.tolerance = 1e-8;
+  return cfg;
+}
+
+SolveRequest make_request(const Problem& prob, std::uint64_t seed,
+                          double tolerance = 1e-8) {
+  SolveRequest req;
+  req.geom = &prob.geom;
+  req.gauge = &prob.gauge;
+  req.mass = 0.1;
+  req.csw = 1.0;
+  req.tolerance = tolerance;
+  req.source = FermionField<double>(prob.geom.volume());
+  gaussian(req.source, seed);
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// BatchScheduler policy
+// ---------------------------------------------------------------------------
+
+TEST(BatchScheduler, GathersHeadKeyRequestsFifo) {
+  BatchPolicy policy;
+  policy.max_lanes = 4;
+  BatchScheduler sched(policy);
+
+  auto pend = [](std::uint64_t id, std::uint32_t checksum) {
+    PendingRequest p;
+    p.id = id;
+    p.key = SetupKey{checksum, 0.1, 1.0};
+    return p;
+  };
+  // A A B A: the head's key (A) is gathered FIFO; B stays queued.
+  sched.push(pend(0, 7));
+  sched.push(pend(1, 7));
+  sched.push(pend(2, 9));
+  sched.push(pend(3, 7));
+
+  auto batch = sched.try_next_batch();
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].id, 0u);
+  EXPECT_EQ(batch[1].id, 1u);
+  EXPECT_EQ(batch[2].id, 3u);
+  EXPECT_EQ(sched.depth(), 1u);
+
+  auto rest = sched.try_next_batch();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].id, 2u);
+  EXPECT_TRUE(sched.try_next_batch().empty());
+}
+
+TEST(BatchScheduler, LaneCapSplitsOversizedRuns) {
+  BatchPolicy policy;
+  policy.max_lanes = 2;
+  BatchScheduler sched(policy);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    PendingRequest p;
+    p.id = i;
+    p.key = SetupKey{1, 0.1, 1.0};
+    sched.push(std::move(p));
+  }
+  EXPECT_EQ(sched.try_next_batch().size(), 2u);
+  EXPECT_EQ(sched.try_next_batch().size(), 2u);
+  EXPECT_EQ(sched.try_next_batch().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Service end-to-end (synchronous drain() mode: deterministic)
+// ---------------------------------------------------------------------------
+
+TEST(Service, BatchOfOneBitIdenticalToDirectSolve) {
+  // A lone request takes the solo path of solve_batch, which is the
+  // documented bit-identical twin of DDSolver::solve(): same trajectory,
+  // same counters, same solution bits.
+  Problem prob({8, 4, 4, 4}, 0.7, 101);
+  SolverServiceConfig scfg;
+  scfg.solver = service_solver_config();
+  scfg.worker_threads = 0;
+
+  SolveRequest req = make_request(prob, 200);
+  const FermionField<double> b = req.source;  // keep a copy
+
+  SolverService service(scfg);
+  auto fut = service.submit(std::move(req));
+  service.drain();
+  SolveResult res = fut.get();
+
+  DDSolver direct(prob.geom, prob.gauge, 0.1, 1.0, scfg.solver);
+  FermionField<double> x(prob.geom.volume());
+  const SolverStats st = direct.solve(b, x);
+
+  ASSERT_TRUE(res.stats.converged);
+  ASSERT_TRUE(st.converged);
+  EXPECT_EQ(res.stats.iterations, st.iterations);
+  EXPECT_EQ(res.stats.matvecs, st.matvecs);
+  EXPECT_EQ(res.stats.precond_applications, st.precond_applications);
+  EXPECT_EQ(res.stats.global_sum_events, st.global_sum_events);
+  EXPECT_EQ(res.stats.residual_history, st.residual_history);
+  EXPECT_EQ(res.stats.final_relative_residual, st.final_relative_residual);
+  EXPECT_EQ(field_diff_norm(res.solution, x), 0.0);
+  EXPECT_EQ(res.batch_lanes, 1);
+  EXPECT_FALSE(res.setup_cache_hit);
+}
+
+TEST(Service, FifoFairnessAcrossConfigurations) {
+  // Interleaved submissions on two configurations: the scheduler packs
+  // each dispatch around the queue HEAD, so configuration A's requests
+  // (submitted first) complete before B's — a hot configuration cannot
+  // starve the head.
+  Problem prob_a({8, 4, 4, 4}, 0.7, 111);
+  Problem prob_b({8, 4, 4, 4}, 0.7, 121);
+  SolverServiceConfig scfg;
+  scfg.solver = service_solver_config();
+  scfg.batch.max_lanes = 4;
+  scfg.worker_threads = 0;
+
+  SolverService service(scfg);
+  std::vector<std::future<SolveResult>> futs;
+  futs.push_back(service.submit(make_request(prob_a, 300)));
+  futs.push_back(service.submit(make_request(prob_b, 301)));
+  futs.push_back(service.submit(make_request(prob_a, 302)));
+  futs.push_back(service.submit(make_request(prob_b, 303)));
+  service.drain();
+
+  std::vector<SolveResult> res;
+  for (auto& f : futs) res.push_back(f.get());
+  // Batches: {A0, A2} then {B1, B3}, FIFO within and across.
+  EXPECT_EQ(res[0].completion_index, 0u);
+  EXPECT_EQ(res[2].completion_index, 1u);
+  EXPECT_EQ(res[1].completion_index, 2u);
+  EXPECT_EQ(res[3].completion_index, 3u);
+  for (const auto& r : res) {
+    EXPECT_TRUE(r.stats.converged);
+    EXPECT_EQ(r.batch_lanes, 2);
+  }
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.submitted, 4u);
+  EXPECT_EQ(s.completed, 4u);
+  EXPECT_EQ(s.batches, 2u);
+  EXPECT_EQ(s.partial_batches, 2u);
+  EXPECT_EQ(s.cache.misses, 2u);
+  EXPECT_EQ(s.cache.hits, 0u);
+}
+
+TEST(Service, PartialLaneFlushOnWindowExpiry) {
+  // Threaded mode: two requests, lane cap four. The worker must flush a
+  // partial two-lane batch once the head's batching window expires
+  // instead of waiting forever for lane-mates.
+  Problem prob({8, 4, 4, 4}, 0.7, 131);
+  SolverServiceConfig scfg;
+  scfg.solver = service_solver_config();
+  scfg.batch.max_lanes = 4;
+  scfg.batch.window_seconds = 0.05;
+  scfg.worker_threads = 1;
+
+  SolverService service(scfg);
+  auto f0 = service.submit(make_request(prob, 400));
+  auto f1 = service.submit(make_request(prob, 401));
+  const SolveResult r0 = f0.get();
+  const SolveResult r1 = f1.get();
+
+  EXPECT_TRUE(r0.stats.converged);
+  EXPECT_TRUE(r1.stats.converged);
+  EXPECT_EQ(r0.batch_lanes, 2);
+  EXPECT_EQ(r1.batch_lanes, 2);
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.batches, 1u);
+  EXPECT_EQ(s.partial_batches, 1u);
+}
+
+TEST(Service, SetupCacheHitMissEvictionCounters) {
+  // Capacity-2 LRU over three configurations: A(miss) A(hit) B(miss)
+  // C(miss, evicts A) A(miss, evicts B).
+  Problem prob_a({8, 4, 4, 4}, 0.7, 141);
+  Problem prob_b({8, 4, 4, 4}, 0.7, 151);
+  Problem prob_c({8, 4, 4, 4}, 0.7, 161);
+  SolverServiceConfig scfg;
+  scfg.solver = service_solver_config();
+  scfg.setup_cache_capacity = 2;
+  scfg.worker_threads = 0;
+
+  SolverService service(scfg);
+  auto run = [&](const Problem& p, std::uint64_t seed) {
+    auto fut = service.submit(make_request(p, seed));
+    service.drain();
+    return fut.get();
+  };
+  EXPECT_FALSE(run(prob_a, 500).setup_cache_hit);
+  EXPECT_TRUE(run(prob_a, 501).setup_cache_hit);
+  EXPECT_FALSE(run(prob_b, 502).setup_cache_hit);
+  EXPECT_FALSE(run(prob_c, 503).setup_cache_hit);
+  EXPECT_FALSE(run(prob_a, 504).setup_cache_hit);
+
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.cache.hits, 1u);
+  EXPECT_EQ(s.cache.misses, 4u);
+  EXPECT_EQ(s.cache.evictions, 2u);
+  EXPECT_EQ(s.completed, 5u);
+  EXPECT_EQ(s.converged, 5u);
+}
+
+TEST(Service, DeadlineOverrunIsFlaggedNotDropped) {
+  Problem prob({8, 4, 4, 4}, 0.7, 171);
+  SolverServiceConfig scfg;
+  scfg.solver = service_solver_config();
+  scfg.worker_threads = 0;
+
+  SolverService service(scfg);
+  SolveRequest req = make_request(prob, 600);
+  req.deadline_seconds = 1e-9;  // impossible: any solve overruns it
+  auto fut = service.submit(std::move(req));
+  service.drain();
+  const SolveResult res = fut.get();
+
+  EXPECT_TRUE(res.stats.converged);  // still solved, never dropped
+  EXPECT_TRUE(res.deadline_missed);
+  EXPECT_EQ(service.stats().deadline_misses, 1u);
+}
+
+TEST(Service, PersistentRecyclingKicksInOnSecondBatch) {
+  // Consecutive dispatches on one configuration share the context's
+  // RecycleCache: the second batch skips the solo seeding phase, so
+  // EVERY lane projects against the recycled subspace.
+  Problem prob({8, 4, 4, 4}, 0.7, 181);
+  SolverServiceConfig scfg;
+  scfg.solver = service_solver_config();
+  scfg.batch.max_lanes = 2;
+  scfg.worker_threads = 0;
+
+  SolverService service(scfg);
+  std::vector<std::future<SolveResult>> futs;
+  for (std::uint64_t i = 0; i < 4; ++i)
+    futs.push_back(service.submit(make_request(prob, 700 + i)));
+  service.drain();
+
+  // First batch: lane 0 seeds (no projection). Second batch: both lanes
+  // project against the recycled subspace.
+  EXPECT_EQ(futs[0].get().stats.recycle_projections, 0);
+  EXPECT_GT(futs[2].get().stats.recycle_projections, 0);
+  EXPECT_GT(futs[3].get().stats.recycle_projections, 0);
+  EXPECT_EQ(service.stats().converged, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance under fault injection
+// ---------------------------------------------------------------------------
+
+ServiceStats run_service(int worker_threads, FaultInjector* packed_injector) {
+  Problem prob({8, 4, 4, 4}, 0.7, 191);
+  SolverServiceConfig scfg;
+  scfg.solver = service_solver_config();
+  scfg.solver.resilience.enabled = true;
+  scfg.solver.resilience.abft.enabled = true;
+  scfg.solver.resilience.abft.verify_interval = 4;
+  scfg.solver.resilience.packed_injector = packed_injector;
+  scfg.batch.max_lanes = 4;
+  scfg.batch.window_seconds = 2.0;  // submissions land well inside
+  scfg.worker_threads = worker_threads;
+
+  std::vector<std::future<SolveResult>> futs;
+  ServiceStats out;
+  {
+    SolverService service(scfg);
+    for (std::uint64_t i = 0; i < 8; ++i)
+      futs.push_back(service.submit(make_request(prob, 800 + i)));
+    if (worker_threads == 0) service.drain();
+    for (auto& f : futs) EXPECT_TRUE(f.get().stats.converged);
+    out = service.stats();
+  }
+  return out;
+}
+
+TEST(Service, StatsParityOneVsFourWorkersUnderFaultInjection) {
+  // The packed-data injector draws through ParallelFaultScope, whose
+  // fault pattern is a pure function of (seed, schedule, key) — and ABFT
+  // caps each configuration at ONE solver context, serializing
+  // dispatches. Identical request streams must therefore produce
+  // EXPECT_EQ-identical service stats for ANY worker count.
+  FaultInjectorConfig fic;
+  fic.fault = FaultClass::kSpinorBitFlip;
+  fic.seed = 77;
+  fic.probability = 1e-3;
+  fic.max_events = -1;
+
+  FaultInjector inj1(fic), inj4(fic);
+  const ServiceStats s1 = run_service(1, &inj1);
+  const ServiceStats s4 = run_service(4, &inj4);
+
+  EXPECT_EQ(s1, s4);
+  EXPECT_EQ(s1.completed, 8u);
+  EXPECT_EQ(s1.converged, 8u);
+  EXPECT_EQ(s1.batches, 2u);
+  // The two injectors saw the same opportunity stream.
+  EXPECT_EQ(inj1.stats().opportunities, inj4.stats().opportunities);
+  EXPECT_EQ(inj1.stats().events, inj4.stats().events);
+}
+
+}  // namespace
+}  // namespace lqcd

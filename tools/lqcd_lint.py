@@ -22,6 +22,10 @@ Enforces invariants no generic tool knows about (see DESIGN.md
                        `ctest -L` leg in ci.yml, so a new suite (e.g.
                        `abft`) cannot silently dodge the label-restricted
                        sanitizer legs.
+  service-header-test  every public header under src/lqcd/service/ is
+                       #include'd by at least one test under tests/ —
+                       the serving layer's label coverage stays honest
+                       only if each of its headers is actually exercised.
 
 Suppressions: tools/lint_suppressions.txt, one per line,
     <rule>:<path>[:<line>]  # <justification>
@@ -273,6 +277,25 @@ def check_ci_labels(findings: list[Finding]) -> None:
             "legs)"))
 
 
+def check_service_header_tests(findings: list[Finding]) -> None:
+    service_dir = SRC / "lqcd" / "service"
+    if not service_dir.is_dir():
+        return
+    tested: set[str] = set()
+    inc_re = re.compile(r'#\s*include\s+"(lqcd/service/[^"]+)"')
+    for test in sorted((REPO / "tests").glob("test_*.cpp")):
+        for m in inc_re.finditer(test.read_text()):
+            tested.add(m.group(1))
+    for header in sorted(service_dir.rglob("*.h")):
+        rel = header.relative_to(SRC).as_posix()
+        if rel not in tested:
+            findings.append(Finding(
+                "service-header-test", header, 1,
+                f'"{rel}" is not #include\'d by any test under tests/ '
+                "— a public service header must be exercised by at "
+                "least one test carrying the `service` label"))
+
+
 def load_suppressions(path: Path) -> tuple[list[tuple], int]:
     entries: list[tuple] = []
     errors = 0
@@ -326,6 +349,7 @@ def main() -> int:
     check_simd_bodies(findings)
     check_parallel_fault_hooks(findings)
     check_ci_labels(findings)
+    check_service_header_tests(findings)
 
     shown = [f for f in findings if not suppressed(f, entries)]
     for f in sorted(shown, key=Finding.key):
