@@ -81,4 +81,43 @@ inline std::uint32_t fletcher32_range(const T* data,
   return fletcher32_bytes(data, count * sizeof(T));
 }
 
+/// 64-bit FNV-1a-style hash over a byte range: the wide, structurally
+/// independent companion to Fletcher-32. Where one 32-bit sum keys
+/// long-lived state (the service's setup cache), a collision between two
+/// distinct gauge configurations would silently reuse the wrong packed
+/// matrices; pairing the Fletcher sum with this digest makes aliasing
+/// require a simultaneous collision in two unrelated hash families.
+/// Processes little-endian 64-bit words per multiply (not the canonical
+/// per-byte FNV-1a): submit() digests multi-MB fields on the client
+/// thread, so the digest must stay far cheaper than a batching window.
+inline std::uint64_t fnv1a64_bytes(const void* data,
+                                   std::size_t bytes) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  std::size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    std::uint64_t w = 0;
+    for (int b = 0; b < 8; ++b)
+      w |= static_cast<std::uint64_t>(p[i + static_cast<std::size_t>(b)])
+           << (8 * b);
+    h = (h ^ w) * kPrime;
+  }
+  if (i < bytes) {
+    std::uint64_t tail = 0;
+    for (int b = 0; i < bytes; ++i, ++b)
+      tail |= static_cast<std::uint64_t>(p[i]) << (8 * b);
+    // Tag the tail with the byte count so "short word" and "zero-padded
+    // word" inputs cannot collide trivially.
+    h = (h ^ tail ^ (static_cast<std::uint64_t>(bytes) << 56)) * kPrime;
+  }
+  return h;
+}
+
+/// Typed convenience: digest `count` elements of trivially-copyable T.
+template <class T>
+inline std::uint64_t fnv1a64_range(const T* data, std::size_t count) noexcept {
+  return fnv1a64_bytes(data, count * sizeof(T));
+}
+
 }  // namespace lqcd

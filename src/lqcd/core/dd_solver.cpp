@@ -81,6 +81,26 @@ bool DDSolverSetup::repair_from_master() {
   return true;
 }
 
+DDSolverSetup::DDSolverSetup(std::unique_ptr<const Geometry> geom,
+                             std::unique_ptr<const GaugeField<double>> gauge,
+                             double mass, double csw,
+                             const DDSolverConfig& config)
+    : DDSolverSetup(*geom, *gauge, mass, csw, config) {
+  owned_geom_ = std::move(geom);
+  owned_master_ = std::move(gauge);
+}
+
+std::shared_ptr<DDSolverSetup> DDSolverSetup::make_owning(
+    const Geometry& geom, const GaugeField<double>& gauge, double mass,
+    double csw, const DDSolverConfig& config) {
+  auto g = std::make_unique<const Geometry>(geom);
+  // Rebase the link copy onto the owned geometry so nothing in the setup
+  // can dangle on caller storage.
+  auto u = std::make_unique<const GaugeField<double>>(*g, gauge);
+  return std::make_shared<DDSolverSetup>(std::move(g), std::move(u), mass, csw,
+                                         config);
+}
+
 DDSolver::DDSolver(const Geometry& geom, const GaugeField<double>& gauge,
                    double mass, double csw, const DDSolverConfig& config)
     : DDSolver(std::make_shared<DDSolverSetup>(geom, gauge, mass, csw, config),

@@ -116,6 +116,21 @@ class DDSolverSetup {
   DDSolverSetup(const Geometry& geom, const GaugeField<double>& gauge,
                 double mass, double csw, const DDSolverConfig& config);
 
+  /// Owning form: geometry and master gauge field transferred into the
+  /// setup, so its lifetime is independent of any caller state. Prefer
+  /// make_owning(); this overload exists so it can go through make_shared.
+  DDSolverSetup(std::unique_ptr<const Geometry> geom,
+                std::unique_ptr<const GaugeField<double>> gauge, double mass,
+                double csw, const DDSolverConfig& config);
+
+  /// Build a setup that deep-copies `geom` and `gauge` and owns the
+  /// copies. The setup-cache path uses this: a cached entry may outlive
+  /// the client request (and gauge field) that created it, so master()
+  /// must never reference client storage.
+  static std::shared_ptr<DDSolverSetup> make_owning(
+      const Geometry& geom, const GaugeField<double>& gauge, double mass,
+      double csw, const DDSolverConfig& config);
+
   const Geometry& geometry() const noexcept { return *geom_; }
   /// The caller's double-precision gauge field (the repair ladder's
   /// authoritative master copy).
@@ -141,6 +156,9 @@ class DDSolverSetup {
   bool repair_from_master();
 
  private:
+  /// Set only in the owning form: the deep copies geom_/master_ point at.
+  std::unique_ptr<const Geometry> owned_geom_;
+  std::unique_ptr<const GaugeField<double>> owned_master_;
   const Geometry* geom_;
   const GaugeField<double>* master_;
   double mass_;

@@ -26,6 +26,14 @@ class GaugeField {
     for (auto& u : links_) u.identity();
   }
 
+  /// Rebasing copy: same link content as `src`, bound to `geom` instead of
+  /// `src`'s geometry. For owners that must not dangle on the source
+  /// field's geometry (e.g. a cached setup outliving the client's field).
+  GaugeField(const Geometry& geom, const GaugeField& src)
+      : geom_(&geom), links_(src.links_) {
+    LQCD_CHECK(geom.dims() == src.geometry().dims());
+  }
+
   const Geometry& geometry() const noexcept { return *geom_; }
 
   SU3<T>& link(std::int32_t site, int mu) noexcept {
@@ -43,6 +51,14 @@ class GaugeField {
   /// corrupted source would just relocate the error.
   std::uint32_t content_checksum() const noexcept {
     return fletcher32_range(links_.data(), links_.size());
+  }
+
+  /// 64-bit FNV-1a over the raw link storage. Paired with the Fletcher-32
+  /// checksum wherever field content keys long-lived state (the service's
+  /// setup cache): two distinct configurations alias only if they collide
+  /// in both hash families simultaneously.
+  std::uint64_t content_digest64() const noexcept {
+    return fnv1a64_range(links_.data(), links_.size());
   }
 
   /// Flip the sign of every t-link that wraps around the time boundary

@@ -1,11 +1,15 @@
 // SolverService request/result types.
 //
 // A SolveRequest is one right-hand side against one gauge configuration.
-// Clients own the gauge field (it must stay alive and UNMUTATED until the
-// request completes — the service verifies this via the same Fletcher-32
-// checksum that keys the setup cache and backs the stale-setup guard);
-// the source spinor field is moved into the request and the solution is
-// moved out through the result.
+// Clients own the gauge field only for the REQUEST's lifetime: it must
+// stay alive and unmutated until the request completes (mutation in
+// flight is detected via the checksum+digest key and refused with
+// Breakdown::kStaleSetup). The cached per-configuration setup deep-copies
+// the field, so cache entries never reference client storage — the field
+// may be destroyed as soon as its requests complete, no matter how long
+// the cache keeps serving that configuration. The source spinor field is
+// moved into the request and the solution is moved out through the
+// result.
 #pragma once
 
 #include <cstdint>

@@ -52,12 +52,19 @@ class BatchScheduler {
     LQCD_CHECK(policy_.max_lanes >= 1);
   }
 
-  void push(PendingRequest&& p) {
+  /// Enqueue a request. Fails (leaving `p` untouched) once close() has
+  /// run: a request accepted here is GUARANTEED to be dispatched — either
+  /// by a worker or by the post-join drain in shutdown() — so a push that
+  /// raced shutdown must be refused rather than stranded in the queue
+  /// with its promise never fulfilled.
+  bool push(PendingRequest&& p) {
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return false;
       queue_.push_back(std::move(p));
     }
     cv_.notify_one();
+    return true;
   }
 
   /// Blocking dispatch for worker threads: waits for a head request, then

@@ -24,17 +24,26 @@ std::future<SolveResult> SolverService::submit(SolveRequest request) {
                  "source size must match the lattice volume");
   PendingRequest p;
   p.id = next_id_.fetch_add(1);
-  // Client-thread checksum: the cache key, and the reference the solver's
+  // Client-thread content hashing: the cache key, and the reference the
   // stale-setup guard re-verifies at dispatch.
-  p.key = SetupKey{request.gauge->content_checksum(), request.mass,
+  p.key = SetupKey{request.gauge->content_checksum(),
+                   request.gauge->content_digest64(), request.mass,
                    request.csw};
   p.request = std::move(request);
   std::future<SolveResult> fut = p.promise.get_future();
+  if (!scheduler_.push(std::move(p))) {
+    // Raced (or followed) shutdown: the queue is closed and the final
+    // drain may already have run, so nothing would ever fulfill this
+    // promise. Fail fast instead of handing back a forever-blocking
+    // future. (push() left `p` intact on failure.)
+    p.promise.set_exception(std::make_exception_ptr(
+        Error("SolverService::submit after shutdown()")));
+    return fut;
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.submitted;
   }
-  scheduler_.push(std::move(p));
   return fut;
 }
 
@@ -47,12 +56,15 @@ void SolverService::drain() {
 }
 
 void SolverService::shutdown() {
-  if (shut_down_) return;
-  shut_down_ = true;
+  if (shut_down_.exchange(true)) return;  // idempotent, thread-safe
+  // close() refuses every subsequent push under the scheduler mutex, so
+  // each accepted request is either taken by a worker before the join or
+  // swept up by the drain below — none can be stranded with an
+  // unfulfilled promise.
   scheduler_.close();
   for (auto& w : workers_) w.join();
   workers_.clear();
-  drain();  // synchronous mode, or anything pushed after close
+  drain();  // synchronous mode, or anything accepted just before close
 }
 
 ServiceStats SolverService::stats() const {
@@ -70,6 +82,26 @@ void SolverService::worker_loop() {
   }
 }
 
+void SolverService::refuse_stale(std::vector<PendingRequest> batch) {
+  const auto n = batch.size();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.completed += static_cast<std::uint64_t>(n);
+    stats_.stale_refusals += static_cast<std::uint64_t>(n);
+  }
+  for (auto& p : batch) {
+    SolveResult res;
+    res.id = p.id;
+    res.completion_index = completion_counter_.fetch_add(1);
+    res.stats.converged = false;
+    res.stats.breakdown = Breakdown::kStaleSetup;
+    res.queue_seconds = p.queued.seconds();
+    res.total_seconds = res.queue_seconds;
+    res.batch_lanes = static_cast<int>(n);
+    p.promise.set_value(std::move(res));
+  }
+}
+
 void SolverService::dispatch(std::vector<PendingRequest> batch) {
   const int nrhs = static_cast<int>(batch.size());
   const SetupKey key = batch.front().key;
@@ -78,15 +110,18 @@ void SolverService::dispatch(std::vector<PendingRequest> batch) {
   bool cache_hit = false;
   std::shared_ptr<CachedConfiguration> conf = cache_.acquire(
       key, *head.geom, *head.gauge, config_.solver, &cache_hit);
-
-  // Lease a solver context. nullptr only when the configuration caps its
-  // pool (in-solve ABFT repair mutates shared packed data) and every
-  // context is leased — back off until a concurrent dispatch finishes.
-  CachedConfiguration::Context* ctx = conf->try_acquire();
-  while (ctx == nullptr) {
-    std::this_thread::yield();
-    ctx = conf->try_acquire();
+  if (conf == nullptr) {
+    // The gauge field no longer matches the submit-time key: the client
+    // mutated it in flight. Refuse the whole batch with the structured
+    // stale-setup breakdown (nothing was cached, no arithmetic ran).
+    refuse_stale(std::move(batch));
+    return;
   }
+
+  // Lease a solver context; blocks (condition variable, no spin) when the
+  // configuration caps its pool (in-solve ABFT repair mutates shared
+  // packed data) and every context is leased by a concurrent dispatch.
+  CachedConfiguration::Context* ctx = conf->acquire_context();
 
   std::vector<double> queue_seconds(static_cast<std::size_t>(nrhs));
   std::vector<FermionField<double>> b;

@@ -57,6 +57,9 @@ struct ServiceStats {
   std::uint64_t lanes_solved = 0;
   std::uint64_t converged = 0;
   std::uint64_t deadline_misses = 0;
+  /// Requests refused with Breakdown::kStaleSetup because the gauge field
+  /// was mutated between submit() and dispatch.
+  std::uint64_t stale_refusals = 0;
   SetupCacheStats cache;
 
   friend bool operator==(const ServiceStats& a,
@@ -64,7 +67,8 @@ struct ServiceStats {
     return a.submitted == b.submitted && a.completed == b.completed &&
            a.batches == b.batches && a.partial_batches == b.partial_batches &&
            a.lanes_solved == b.lanes_solved && a.converged == b.converged &&
-           a.deadline_misses == b.deadline_misses && a.cache == b.cache;
+           a.deadline_misses == b.deadline_misses &&
+           a.stale_refusals == b.stale_refusals && a.cache == b.cache;
   }
 };
 
@@ -77,10 +81,12 @@ class SolverService {
   SolverService(const SolverService&) = delete;
   SolverService& operator=(const SolverService&) = delete;
 
-  /// Enqueue one right-hand side. The gauge checksum (= setup-cache key,
-  /// stale-setup reference) is computed HERE, on the client's thread,
-  /// keeping the Fletcher-32 pass off the dispatch path. The request's
-  /// source is consumed.
+  /// Enqueue one right-hand side. The gauge checksum+digest (= setup-cache
+  /// key, stale-setup reference) is computed HERE, on the client's thread,
+  /// keeping the content hashing off the dispatch path. The request's
+  /// source is consumed. A submission that races or follows shutdown() is
+  /// refused: the returned future carries an lqcd::Error instead of
+  /// blocking forever on a promise no worker will ever fulfill.
   std::future<SolveResult> submit(SolveRequest request);
 
   /// Dispatch queued requests inline on the calling thread until the
@@ -99,6 +105,9 @@ class SolverService {
   void worker_loop();
   /// Run one batch end-to-end and fulfill its promises.
   void dispatch(std::vector<PendingRequest> batch);
+  /// Fulfill every promise of a batch whose gauge field was mutated
+  /// between submit() and dispatch with Breakdown::kStaleSetup.
+  void refuse_stale(std::vector<PendingRequest> batch);
 
   SolverServiceConfig config_;
   BatchScheduler scheduler_;
@@ -108,7 +117,7 @@ class SolverService {
   mutable std::mutex stats_mu_;
   ServiceStats stats_;  ///< cache field filled from cache_ on read
   std::vector<std::thread> workers_;
-  bool shut_down_ = false;
+  std::atomic<bool> shut_down_{false};
 };
 
 }  // namespace lqcd

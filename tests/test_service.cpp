@@ -75,7 +75,7 @@ TEST(BatchScheduler, GathersHeadKeyRequestsFifo) {
   auto pend = [](std::uint64_t id, std::uint32_t checksum) {
     PendingRequest p;
     p.id = id;
-    p.key = SetupKey{checksum, 0.1, 1.0};
+    p.key = SetupKey{checksum, checksum, 0.1, 1.0};
     return p;
   };
   // A A B A: the head's key (A) is gathered FIFO; B stays queued.
@@ -104,7 +104,7 @@ TEST(BatchScheduler, LaneCapSplitsOversizedRuns) {
   for (std::uint64_t i = 0; i < 5; ++i) {
     PendingRequest p;
     p.id = i;
-    p.key = SetupKey{1, 0.1, 1.0};
+    p.key = SetupKey{1, 1, 0.1, 1.0};
     sched.push(std::move(p));
   }
   EXPECT_EQ(sched.try_next_batch().size(), 2u);
@@ -287,6 +287,81 @@ TEST(Service, PersistentRecyclingKicksInOnSecondBatch) {
   EXPECT_GT(futs[2].get().stats.recycle_projections, 0);
   EXPECT_GT(futs[3].get().stats.recycle_projections, 0);
   EXPECT_EQ(service.stats().converged, 4u);
+}
+
+TEST(Service, CachedSetupOutlivesClientGaugeField) {
+  // The request contract only requires the client's gauge field to live
+  // until its request completes; the cached setup deep-copies it. A later
+  // identical-content field at a NEW address must hit the cache and solve
+  // against the owned copy — with the old raw-pointer setup this was a
+  // use-after-free (caught by the asan leg).
+  SolverServiceConfig scfg;
+  scfg.solver = service_solver_config();
+  scfg.worker_threads = 0;
+  SolverService service(scfg);
+
+  auto run = [&](const Problem& p, std::uint64_t seed) {
+    auto fut = service.submit(make_request(p, seed));
+    service.drain();
+    return fut.get();
+  };
+  {
+    Problem prob({8, 4, 4, 4}, 0.7, 211);
+    const SolveResult res = run(prob, 900);
+    EXPECT_TRUE(res.stats.converged);
+    EXPECT_FALSE(res.setup_cache_hit);
+  }  // client gauge field destroyed; the cache entry stays
+  // Same dims/disorder/seed -> bit-identical links, different storage.
+  Problem prob_again({8, 4, 4, 4}, 0.7, 211);
+  const SolveResult res = run(prob_again, 901);
+  EXPECT_TRUE(res.stats.converged);
+  EXPECT_TRUE(res.setup_cache_hit);
+  EXPECT_EQ(service.stats().cache.hits, 1u);
+}
+
+TEST(Service, SubmitAfterShutdownFailsFastInsteadOfHanging) {
+  Problem prob({8, 4, 4, 4}, 0.7, 221);
+  SolverServiceConfig scfg;
+  scfg.solver = service_solver_config();
+  scfg.worker_threads = 0;
+  SolverService service(scfg);
+
+  auto f0 = service.submit(make_request(prob, 910));
+  service.shutdown();  // drains the accepted request
+  EXPECT_TRUE(f0.get().stats.converged);
+
+  // The queue is closed: the promise must carry an error, not block.
+  auto f1 = service.submit(make_request(prob, 911));
+  EXPECT_THROW(f1.get(), Error);
+  EXPECT_EQ(service.stats().submitted, 1u);
+}
+
+TEST(Service, InFlightGaugeMutationRefusedAsStaleSetup) {
+  // submit() keys the request by the field content at submission time; a
+  // client that mutates the field before dispatch gets a structured
+  // kStaleSetup refusal, and the poisoned setup is never cached.
+  Problem prob({8, 4, 4, 4}, 0.7, 231);
+  SolverServiceConfig scfg;
+  scfg.solver = service_solver_config();
+  scfg.worker_threads = 0;
+  SolverService service(scfg);
+
+  auto fut = service.submit(make_request(prob, 920));
+  prob.gauge.link(0, 0) = Complex<double>(2, 0) * prob.gauge.link(0, 0);
+  service.drain();
+  const SolveResult res = fut.get();
+
+  EXPECT_FALSE(res.stats.converged);
+  EXPECT_EQ(res.stats.breakdown, Breakdown::kStaleSetup);
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.stale_refusals, 1u);
+  EXPECT_EQ(s.cache.stale_rejects, 1u);
+  EXPECT_EQ(s.completed, 1u);
+
+  // The mutated content resubmitted under its OWN (new) key solves fine.
+  auto fut2 = service.submit(make_request(prob, 921));
+  service.drain();
+  EXPECT_TRUE(fut2.get().stats.converged);
 }
 
 // ---------------------------------------------------------------------------
