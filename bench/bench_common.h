@@ -5,12 +5,48 @@
 // the relative deviation. EXPERIMENTS.md collects the resulting output.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
 #include "lqcd/base/table.h"
 
 namespace lqcd::bench {
+
+/// Fold a result buffer into a running checksum. Every timed kernel loop
+/// must route its output through this (and the harness must print or emit
+/// the final value): reading every element makes the kernel's results
+/// observable, so the compiler cannot dead-code-eliminate the work being
+/// measured — the su3_bench trick. Strided sampling keeps the checksum
+/// itself cheap relative to the kernel.
+inline void checksum_accumulate(double& acc, const float* data,
+                                std::int64_t n, std::int64_t stride = 1) {
+  for (std::int64_t i = 0; i < n; i += stride)
+    acc += static_cast<double>(data[i]);
+}
+
+inline double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Time `body` (called once per iteration) for ~`min_seconds`, after one
+/// untimed warm-up call. Returns seconds per iteration.
+template <class F>
+double time_kernel(F&& body, double min_seconds) {
+  body();  // warm-up: page-in, backend resolution, branch training
+  std::int64_t iters = 0;
+  const double t0 = now_seconds();
+  double t1 = t0;
+  do {
+    body();
+    ++iters;
+    t1 = now_seconds();
+  } while (t1 - t0 < min_seconds);
+  return (t1 - t0) / static_cast<double>(iters);
+}
 
 inline void print_header(const std::string& title,
                          const std::string& paper_ref,

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "host_measure.h"
 #include "lqcd/knc/work_model.h"
 
 using namespace lqcd;
@@ -54,8 +55,13 @@ int main() {
       {"48x12x12x16", 48LL * 12 * 12 * 16},
   };
 
+  // Measured-host anchor: the actual block-solve rate of this machine's
+  // active SIMD backend, projected to N cores at perfect scaling — the
+  // measured column printed next to the model columns.
+  const auto cal = bench::measure_host(/*smoke=*/false);
+
   Table t({"cores", "V=16x8x20x24", "V=32x32x20x24", "V=48x12x12x16",
-           "perfect"});
+           "perfect", "host-meas x cores"});
   const double per_core_1 = preconditioner_gflops(model, 1, 1);
   for (int cores : {1, 2, 4, 8, 12, 16, 20, 24, 30, 36, 40, 48, 54, 60}) {
     t.row().cell(cores);
@@ -64,8 +70,10 @@ int main() {
       t.cell(preconditioner_gflops(model, nd, cores), 1);
     }
     t.cell(per_core_1 * cores, 1);
+    t.cell(cal.scaled_block_solve_gflops(cores), 1);
   }
   std::printf("%s\n", t.str().c_str());
+  bench::print_host_vs_model(cal, model.spec());
 
   for (const auto& v : volumes) {
     const std::int64_t nd = knc::ndomain_per_color(v.sites, block);

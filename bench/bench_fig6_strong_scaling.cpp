@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "host_measure.h"
 #include "paper_specs.h"
 
 using namespace lqcd;
@@ -17,7 +18,7 @@ namespace {
 void print_lattice(const ClusterSim& sim, const DDSolveSpec& dd,
                    const NonDDSolveSpec& nd, const std::vector<int>& dd_nodes,
                    const std::vector<int>& nd_nodes, const char* title,
-                   double paper_peak_speedup) {
+                   double paper_peak_speedup, double host_slowdown) {
   std::printf("---- %s ----\n", title);
 
   std::vector<std::pair<int, double>> dd_times, nd_times;
@@ -32,8 +33,11 @@ void print_lattice(const ClusterSim& sim, const DDSolveSpec& dd,
   double nd_best = 1e300;
   for (const auto& [n, t] : nd_times) nd_best = std::min(nd_best, t);
 
-  Table t({"KNCs", "DD time[s]", "DD rel.speed", "non-DD time[s]",
-           "non-DD rel.speed"});
+  // "DD host-est[s]": the same solve if every KNC were a 60-core node of
+  // THIS host at its measured block-solve rate (compute-rate scaling of
+  // the model time; the measured-host column of the figure).
+  Table t({"KNCs", "DD time[s]", "DD rel.speed", "DD host-est[s]",
+           "non-DD time[s]", "non-DD rel.speed"});
   const std::size_t rows = std::max(dd_times.size(), nd_times.size());
   double dd_best_speed = 0;
   for (std::size_t i = 0; i < rows; ++i) {
@@ -41,10 +45,11 @@ void print_lattice(const ClusterSim& sim, const DDSolveSpec& dd,
     if (i < dd_times.size()) {
       t.cell(dd_times[i].first)
           .cell(dd_times[i].second, 2)
-          .cell(nd_best / dd_times[i].second, 2);
+          .cell(nd_best / dd_times[i].second, 2)
+          .cell(dd_times[i].second * host_slowdown, 2);
       dd_best_speed = std::max(dd_best_speed, nd_best / dd_times[i].second);
     } else {
-      t.cell("").cell("").cell("");
+      t.cell("").cell("").cell("").cell("");
     }
     if (i < nd_times.size()) {
       t.cell(nd_times[i].second, 2).cell(nd_best / nd_times[i].second, 2);
@@ -71,16 +76,28 @@ int main() {
 
   ClusterSim sim;
 
+  // Host calibration: scale KNC-model times by the ratio of the model's
+  // per-core compute bound to this host's measured block-solve rate.
+  const auto cal = bench::measure_host(/*smoke=*/false);
+  const knc::KncSpec spec;
+  const double host_slowdown =
+      cal.block_solve_gflops > 0
+          ? spec.sp_gflops_bound_per_core() / cal.block_solve_gflops
+          : 0.0;
+  bench::print_host_vs_model(cal, spec);
+
   print_lattice(sim, bench::dd_32cubed(), bench::nondd_32cubed(),
                 {8, 16, 32, 64}, {8, 16, 32, 64},
                 "32^3x64 (m_pi = 290 MeV; iteration counts estimated)",
-                4.0);
+                4.0, host_slowdown);
   print_lattice(sim, bench::dd_48cubed(), bench::nondd_48cubed(),
                 {24, 32, 64, 128}, {12, 24, 36, 72, 144},
-                "48^3x64 (m_pi = 150 MeV; Table III counts)", 5.0);
+                "48^3x64 (m_pi = 150 MeV; Table III counts)", 5.0,
+                host_slowdown);
   print_lattice(sim, bench::dd_64cubed(), bench::nondd_64cubed(),
                 {64, 128, 256, 512, 1024}, {64, 128, 256},
-                "64^3x128 (SU(3)-symmetric point; Table III counts)", 4.5);
+                "64^3x128 (SU(3)-symmetric point; Table III counts)", 4.5,
+                host_slowdown);
 
   // The preliminary non-uniform-partitioning points of Fig. 6.
   {

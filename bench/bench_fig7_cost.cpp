@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "host_measure.h"
 #include "paper_specs.h"
 
 using namespace lqcd;
@@ -20,9 +21,13 @@ namespace {
 void print_lattice(const ClusterSim& sim, const DDSolveSpec& dd,
                    const NonDDSolveSpec& nd,
                    const std::vector<int>& dd_nodes,
-                   const std::vector<int>& nd_nodes, const char* title) {
+                   const std::vector<int>& nd_nodes, const char* title,
+                   double host_slowdown) {
   std::printf("---- %s ----\n", title);
-  Table t({"KNCs", "DD cost[KNC-min]", "non-DD cost[KNC-min]"});
+  // "DD host-est": node-minutes if every KNC were a 60-core node of THIS
+  // host at its measured block-solve rate (the measured-host column).
+  Table t({"KNCs", "DD cost[KNC-min]", "DD host-est[node-min]",
+           "non-DD cost[KNC-min]"});
   double dd_min = 1e300, nd_min = 1e300;
   const std::size_t rows = std::max(dd_nodes.size(), nd_nodes.size());
   for (std::size_t i = 0; i < rows; ++i) {
@@ -33,9 +38,9 @@ void print_lattice(const ClusterSim& sim, const DDSolveSpec& dd,
           sim.simulate_dd(dd, NodePartition::choose(dd.lattice, n, dd.block));
       const double cost = n * r.total_seconds / 60.0;
       dd_min = std::min(dd_min, cost);
-      t.cell(n).cell(cost, 2);
+      t.cell(n).cell(cost, 2).cell(cost * host_slowdown, 2);
     } else {
-      t.cell("").cell("");
+      t.cell("").cell("").cell("");
     }
     if (i < nd_nodes.size()) {
       const int n = nd_nodes[i];
@@ -64,12 +69,22 @@ int main() {
                       "on as few nodes as memory allows");
 
   ClusterSim sim;
+  const auto cal = bench::measure_host(/*smoke=*/false);
+  const knc::KncSpec spec;
+  const double host_slowdown =
+      cal.block_solve_gflops > 0
+          ? spec.sp_gflops_bound_per_core() / cal.block_solve_gflops
+          : 0.0;
+  bench::print_host_vs_model(cal, spec);
+
   print_lattice(sim, bench::dd_32cubed(), bench::nondd_32cubed(),
-                {8, 16, 32, 64}, {8, 16, 32, 64}, "32^3x64");
+                {8, 16, 32, 64}, {8, 16, 32, 64}, "32^3x64",
+                host_slowdown);
   print_lattice(sim, bench::dd_48cubed(), bench::nondd_48cubed(),
                 {24, 32, 64, 128}, {12, 16, 24, 32, 36, 72, 128},
-                "48^3x64");
+                "48^3x64", host_slowdown);
   print_lattice(sim, bench::dd_64cubed(), bench::nondd_64cubed(),
-                {64, 128, 256, 512, 1024}, {64, 128, 256}, "64^3x128");
+                {64, 128, 256, 512, 1024}, {64, 128, 256}, "64^3x128",
+                host_slowdown);
   return 0;
 }

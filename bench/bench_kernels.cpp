@@ -1,212 +1,172 @@
-// google-benchmark microbenchmarks of the numerical kernels on the host
-// CPU. These measure OUR portable implementation (not the KNC — see the
-// machine model for the paper's hardware numbers); they are the
-// engineering substrate for optimizing the library itself and for
-// verifying that per-site flop counts scale as expected.
-#include "lqcd/core/dd_solver.h"
-#include "lqcd/linalg/fp16.h"
-#include "lqcd/schwarz/schwarz.h"
-#include "lqcd/knc/work_model.h"
-#include "lqcd/tile/tiled_dslash.h"
+// Measured-GFLOP/s kernel benchmark, su3_bench methodology: every rate is
+// derived from a first-principles flop count and a timed loop whose
+// results feed a printed checksum (so the work cannot be dead-code
+// eliminated), and every compiled-and-supported SIMD dispatch backend is
+// measured side by side. `--json` additionally emits BENCH_kernels.json
+// with a stable schema for the CI regression gate
+// (tools/bench_compare.py); `--smoke` shrinks sizes to CI scale.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
-#if defined(LQCD_HAVE_GBENCH)
-#include <benchmark/benchmark.h>
+#include "bench_common.h"
+#include "host_measure.h"
+#include "lqcd/simd/dispatch.h"
 
-namespace lqcd {
+using namespace lqcd;
+
 namespace {
 
-struct Setup {
-  Geometry geom{{8, 8, 8, 8}};
-  Checkerboard cb{geom};
-  GaugeField<float> gauge;
-  WilsonCloverOperator<float> op;
-  DomainPartition part{geom, {4, 4, 4, 4}};
-
-  Setup()
-      : gauge(convert<float>(random_gauge_field<double>(geom, 0.6, 1))),
-        op(geom, cb, gauge, 0.1f, 1.0f) {
-    op.prepare_schur();
-  }
+struct KernelResult {
+  const char* name;
+  const char* metric;  // "gflops" | "gbs"
+  double value;
+  double seconds;
+  double checksum;
 };
 
-Setup& setup() {
-  static Setup s;
-  return s;
+struct BackendResults {
+  simd::Backend backend;
+  std::vector<KernelResult> kernels;
+};
+
+BackendResults run_backend(simd::Backend b, bool smoke) {
+  simd::ScopedBackend scope(b);
+  const double w = smoke ? 0.02 : 0.25;
+  const std::int64_t nmat = smoke ? 2048 : 16384;
+  const std::int32_t nsites = smoke ? 256 : 1024;
+  const int lanes = 8;
+
+  BackendResults out;
+  out.backend = b;
+  const auto add = [&out](const char* name, const char* metric,
+                          const bench::KernelMeasurement& m, double value) {
+    out.kernels.push_back({name, metric, value, m.seconds, m.checksum});
+  };
+
+  auto m = bench::measure_su3_mul_nn(nmat, w);
+  add("su3_mul_nn", "gflops", m, m.gflops());
+  m = bench::measure_su3_mul_lanes(nsites, lanes, w);
+  add("su3_mul_lanes", "gflops", m, m.gflops());
+  m = bench::measure_dslash_lanes(nsites, lanes, w);
+  add("dslash_lanes", "gflops", m, m.gflops());
+  m = bench::measure_clover_lanes(nsites, lanes, w);
+  add("clover_lanes", "gflops", m, m.gflops());
+  m = bench::measure_block_solve(4, smoke ? 0.05 : 0.5);
+  add("block_solve", "gflops", m, m.gflops());
+  m = bench::measure_fp16_roundtrip(smoke ? 1 << 15 : 1 << 20, w);
+  add("fp16_roundtrip", "gbs", m, m.gbs());
+  return out;
 }
 
-void BM_Dslash(benchmark::State& state) {
-  auto& s = setup();
-  FermionField<float> in(s.geom.volume()), out(s.geom.volume());
-  gaussian(in, 2);
-  for (auto _ : state) {
-    s.op.apply_dslash(in, out);
-    benchmark::DoNotOptimize(out.data());
+void write_json(const char* path, const std::vector<BackendResults>& all,
+                const knc::HostCalibration& cal, bool smoke) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    std::exit(1);
   }
-  state.counters["Gflop/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * s.geom.volume() * 1344,
-      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
-}
-BENCHMARK(BM_Dslash);
-
-void BM_WilsonClover(benchmark::State& state) {
-  auto& s = setup();
-  FermionField<float> in(s.geom.volume()), out(s.geom.volume());
-  gaussian(in, 3);
-  for (auto _ : state) {
-    s.op.apply(in, out);
-    benchmark::DoNotOptimize(out.data());
+  std::fprintf(f, "{\n  \"schema\": \"lqcd-bench-kernels-v1\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"backends\": [\n");
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    std::fprintf(f, "    {\n      \"backend\": \"%s\",\n      \"kernels\": [\n",
+                 simd::to_string(all[i].backend));
+    const auto& ks = all[i].kernels;
+    for (std::size_t j = 0; j < ks.size(); ++j)
+      std::fprintf(f,
+                   "        {\"name\": \"%s\", \"metric\": \"%s\", "
+                   "\"value\": %.6g, \"seconds\": %.6g, \"checksum\": "
+                   "%.17g}%s\n",
+                   ks[j].name, ks[j].metric, ks[j].value, ks[j].seconds,
+                   ks[j].checksum, j + 1 < ks.size() ? "," : "");
+    std::fprintf(f, "      ]\n    }%s\n", i + 1 < all.size() ? "," : "");
   }
-  state.counters["Gflop/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * s.geom.volume() * 1848,
-      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"calibration\": {\"backend\": \"%s\", \"su3_nn_gflops\": "
+               "%.6g, \"dslash_gflops\": %.6g, \"block_solve_gflops\": %.6g, "
+               "\"fp16_gbs\": %.6g, \"efficiency\": %.6g}\n}\n",
+               cal.backend, cal.su3_nn_gflops, cal.dslash_gflops,
+               cal.block_solve_gflops, cal.fp16_gbs,
+               cal.compute_efficiency());
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
 }
-BENCHMARK(BM_WilsonClover);
-
-void BM_SchurOperator(benchmark::State& state) {
-  auto& s = setup();
-  FermionField<float> in(s.cb.half_volume()), out(s.cb.half_volume());
-  gaussian(in, 4);
-  for (auto _ : state) {
-    s.op.apply_schur(in, out);
-    benchmark::DoNotOptimize(out.data());
-  }
-}
-BENCHMARK(BM_SchurOperator);
-
-void BM_SU3MatVec(benchmark::State& state) {
-  Rng rng(5);
-  const auto u = random_su3<float>(rng, 1.0);
-  ColorVector<float> x;
-  for (int c = 0; c < 3; ++c)
-    x.c[c] = Complex<float>(static_cast<float>(rng.gaussian()),
-                            static_cast<float>(rng.gaussian()));
-  for (auto _ : state) {
-    x = mul(u, x);
-    benchmark::DoNotOptimize(x);
-  }
-}
-BENCHMARK(BM_SU3MatVec);
-
-void BM_CloverBlockApply(benchmark::State& state) {
-  Rng rng(6);
-  PackedHermitian6<float> b;
-  for (auto& d : b.diag) d = static_cast<float>(rng.gaussian() + 5);
-  for (auto& z : b.offd)
-    z = Complex<float>(static_cast<float>(rng.gaussian()),
-                       static_cast<float>(rng.gaussian()));
-  Complex<float> x[6], y[6];
-  for (auto& v : x)
-    v = Complex<float>(static_cast<float>(rng.gaussian()),
-                       static_cast<float>(rng.gaussian()));
-  for (auto _ : state) {
-    b.apply(x, y);
-    benchmark::DoNotOptimize(y);
-  }
-}
-BENCHMARK(BM_CloverBlockApply);
-
-void BM_BlasDot(benchmark::State& state) {
-  FermionField<float> x(4096), y(4096);
-  gaussian(x, 7);
-  gaussian(y, 8);
-  for (auto _ : state) {
-    auto d = dot(x, y);
-    benchmark::DoNotOptimize(d);
-  }
-  state.SetBytesProcessed(state.iterations() * 2 * x.bytes());
-}
-BENCHMARK(BM_BlasDot);
-
-void BM_BlasAxpy(benchmark::State& state) {
-  FermionField<float> x(4096), y(4096);
-  gaussian(x, 9);
-  gaussian(y, 10);
-  for (auto _ : state) {
-    axpy(1.0001f, x, y);
-    benchmark::DoNotOptimize(y.data());
-  }
-  state.SetBytesProcessed(state.iterations() * 3 * x.bytes());
-}
-BENCHMARK(BM_BlasAxpy);
-
-void BM_Fp16RoundTrip(benchmark::State& state) {
-  Rng rng(11);
-  std::vector<float> src(8192), back(8192);
-  std::vector<Half> mid(8192);
-  for (auto& v : src) v = static_cast<float>(rng.gaussian());
-  for (auto _ : state) {
-    float_to_half(src.data(), mid.data(), 8192);
-    half_to_float(mid.data(), back.data(), 8192);
-    benchmark::DoNotOptimize(back.data());
-  }
-  state.SetBytesProcessed(state.iterations() * 8192 * 4);
-}
-BENCHMARK(BM_Fp16RoundTrip);
-
-void BM_SchwarzSweep(benchmark::State& state) {
-  auto& s = setup();
-  SchwarzParams p;
-  p.schwarz_iterations = 1;
-  p.block_mr_iterations = 5;
-  static SchwarzPreconditioner<Half> m(s.part, s.op, p);
-  FermionField<float> rhs(s.geom.volume()), u(s.geom.volume());
-  gaussian(rhs, 12);
-  for (auto _ : state) {
-    m.apply(rhs, u);
-    benchmark::DoNotOptimize(u.data());
-  }
-  state.counters["Gflop/s"] = benchmark::Counter(
-      static_cast<double>(m.stats().flops), benchmark::Counter::kIsRate,
-      benchmark::Counter::kIs1000);
-}
-BENCHMARK(BM_SchwarzSweep);
-
-void BM_TiledBlockDslash(benchmark::State& state) {
-  // The site-fused SOA kernel on one 8x4^3 block (the paper's Fig. 2
-  // layout): compare against BM_Dslash's site-local layout to see the
-  // host compiler's vectorization benefit.
-  const Coord block{8, 4, 4, 4};
-  const std::int64_t vol = 8LL * 4 * 4 * 4;
-  static TiledGauge tg = [] {
-    TiledGauge g(Coord{8, 4, 4, 4});
-    Rng rng(3);
-    static std::vector<SU3<float>> links(
-        static_cast<std::size_t>(8 * 4 * 4 * 4) * kNumDims);
-    for (auto& u : links) u = random_su3<float>(rng, 0.8);
-    g.pack([&](std::int32_t lex, int mu) -> const SU3<float>& {
-      return links[static_cast<std::size_t>(lex) * kNumDims +
-                   static_cast<std::size_t>(mu)];
-    });
-    return g;
-  }();
-  TiledField in(block), out(block);
-  FermionField<float> f(vol);
-  gaussian(f, 4);
-  in.pack(f);
-  for (auto _ : state) {
-    tiled_block_dslash(block, tg, in, out);
-    benchmark::DoNotOptimize(out.component(0, 0, 0));
-  }
-  // Interior-hop flop count of the Dirichlet block (168 per hop).
-  const double hops = 2.0 * knc::block_hops_per_parity(block);
-  state.counters["Gflop/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * hops * 168.0,
-      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
-}
-BENCHMARK(BM_TiledBlockDslash);
 
 }  // namespace
-}  // namespace lqcd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false, json = false;
+  std::string json_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json [path]]\n"
+                   "  LQCD_SIMD_BACKEND=scalar|avx2|avx512 restricts the "
+                   "measured backends\n",
+                   argv[0]);
+      return 1;
+    }
+  }
 
-#else  // !LQCD_HAVE_GBENCH
+  bench::print_header(
+      "Kernel rates per SIMD backend (measured on THIS host)",
+      "engineering substrate (su3_bench methodology; not a paper figure)",
+      "first-principles flop counts; checksums defeat dead-code "
+      "elimination");
 
-#include <cstdio>
-int main() {
-  std::printf("google-benchmark not found at configure time; kernel "
-              "microbenchmarks disabled.\n");
+  // An explicit LQCD_SIMD_BACKEND pins the measurement to that backend;
+  // otherwise every backend this machine can run is measured.
+  std::vector<simd::Backend> backends;
+  if (const auto forced = simd::backend_from_env())
+    backends.push_back(*forced);
+  else
+    backends = simd::available_backends();
+
+  std::vector<BackendResults> all;
+  for (const simd::Backend b : backends) all.push_back(run_backend(b, smoke));
+
+  Table t({"kernel", "metric", "scalar", "avx2", "avx512"});
+  const char* names[] = {"su3_mul_nn",   "su3_mul_lanes", "dslash_lanes",
+                         "clover_lanes", "block_solve",   "fp16_roundtrip"};
+  for (const char* name : names) {
+    const char* metric = std::strcmp(name, "fp16_roundtrip") == 0
+                             ? "GB/s"
+                             : "Gflop/s";
+    t.row().cell(name).cell(metric);
+    for (const simd::Backend b :
+         {simd::Backend::kScalar, simd::Backend::kAvx2,
+          simd::Backend::kAvx512}) {
+      bool found = false;
+      for (const auto& br : all)
+        if (br.backend == b)
+          for (const auto& k : br.kernels)
+            if (std::strcmp(k.name, name) == 0) {
+              t.cell(k.value, 2);
+              found = true;
+            }
+      if (!found) t.cell("-");
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  double checksum = 0;
+  for (const auto& br : all)
+    for (const auto& k : br.kernels) checksum += k.checksum;
+  std::printf("aggregate checksum (DCE guard): %.17g\n\n", checksum);
+
+  // Host efficiency calibration with the best available backend, printed
+  // against the KNC model's Sec. IV-B1 factors.
+  const auto cal = bench::measure_host(smoke);
+  bench::print_host_vs_model(cal, knc::KncSpec{});
+
+  if (json) write_json(json_path.c_str(), all, cal, smoke);
   return 0;
 }
-
-#endif

@@ -61,4 +61,33 @@ struct KncSpec {
   }
 };
 
+/// Measured rates of THIS host, filled at bench runtime by
+/// bench/host_measure.h (pure data here, so the machine model keeps no
+/// dependency on the solver layers). The host analogue of the Sec. IV-B1
+/// instruction-mix estimate: su3_nn_gflops is the dense SU(3)
+/// multiply ceiling, block_solve_gflops the full lane-vectorized Schwarz
+/// block solve, and their ratio the host's measured compute-efficiency
+/// factor — directly comparable to the KNC model's
+/// compute_efficiency() = 0.56. bench_fig5/6/7 print these measured-host
+/// values in columns next to the KNC-model ones.
+struct HostCalibration {
+  const char* backend = "scalar";  ///< active SIMD dispatch backend
+  double su3_nn_gflops = 0;        ///< dense SU(3) matrix-multiply ceiling
+  double dslash_gflops = 0;        ///< lane hop kernel (project/mul/reconstruct)
+  double block_solve_gflops = 0;   ///< full lane-vectorized block solve
+  double fp16_gbs = 0;             ///< binary16 round-trip bandwidth
+
+  /// Measured host efficiency factor: sustained block-solve rate over the
+  /// dense-compute ceiling (the roofline-style ratio; frequency cancels).
+  double compute_efficiency() const noexcept {
+    return su3_nn_gflops > 0 ? block_solve_gflops / su3_nn_gflops : 0.0;
+  }
+
+  /// Perfect-scaling projection of the measured single-thread block-solve
+  /// rate to `cores` cores — the measured-host scaling column of Fig. 5.
+  double scaled_block_solve_gflops(int cores) const noexcept {
+    return block_solve_gflops * cores;
+  }
+};
+
 }  // namespace lqcd::knc

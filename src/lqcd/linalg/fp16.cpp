@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "lqcd/simd/dispatch.h"
+
 namespace lqcd {
 
 namespace {
@@ -62,8 +64,11 @@ float half_to_float(Half h) noexcept {
   const std::uint32_t mant = h & 0x3ffu;
 
   if (exp == 0x1fu) {
-    // Inf / NaN.
-    return float_of(sign | 0x7f800000u | (mant << 13));
+    // Inf / NaN. NaNs are quieted (the hardware up-conversion, VCVTPH2PS,
+    // sets the quiet bit; matching it keeps the dispatched F16C path
+    // bit-identical to this software reference).
+    return float_of(sign | 0x7f800000u |
+                    (mant != 0 ? 0x00400000u | (mant << 13) : 0u));
   }
   if (exp == 0) {
     if (mant == 0) return float_of(sign);  // +-0
@@ -94,12 +99,12 @@ std::int64_t count_half_overflows(const float* src, std::int64_t n) noexcept {
   return count;
 }
 
-void float_to_half(const float* src, Half* dst, std::int64_t n) noexcept {
-  for (std::int64_t i = 0; i < n; ++i) dst[i] = float_to_half(src[i]);
+void float_to_half(const float* src, Half* dst, std::int64_t n) {
+  simd::kernels().float_to_half_n(src, dst, n);
 }
 
-void half_to_float(const Half* src, float* dst, std::int64_t n) noexcept {
-  for (std::int64_t i = 0; i < n; ++i) dst[i] = half_to_float(src[i]);
+void half_to_float(const Half* src, float* dst, std::int64_t n) {
+  simd::kernels().half_to_float_n(src, dst, n);
 }
 
 }  // namespace lqcd

@@ -30,6 +30,7 @@
 #include "lqcd/resilience/fault_injector.h"
 #include "lqcd/resilience/resilient_solve.h"
 #include "lqcd/schwarz/storage.h"
+#include "lqcd/simd/dispatch.h"
 #include "lqcd/solver/linear_operator.h"
 #include "lqcd/solver/mr.h"
 
@@ -530,6 +531,10 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float>,
         buffer_stride_(setup_->face_buffer_stride()),
         hops_per_parity_(setup_->hops_per_parity()) {
     LQCD_CHECK(setup_ != nullptr);
+    // Resolve the SIMD dispatch table now: a bad LQCD_SIMD_BACKEND fails
+    // at construction, not mid-solve (and not never, on paths that stay
+    // off the dispatched lane kernels, e.g. single-RHS solve_domain).
+    simd::kernels();
     buffers_.resize(static_cast<std::size_t>(part_->num_domains()) *
                     static_cast<std::size_t>(buffer_stride_));
     ensure_scratch();
@@ -1136,131 +1141,34 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float>,
   //
   // Every kernel below walks the domain site by site, loads each packed
   // matrix element (link or clover block) ONCE, and applies it to all RHS
-  // lanes with unit-stride inner loops over the lane index. The arithmetic
-  // per lane is operation-for-operation the scalar block solve, so the
-  // instrumented counters charge exactly nrhs times the scalar work (with
-  // MR iterations and axpy flops charged per still-active lane).
+  // lanes with unit-stride inner loops over the lane index. The lane
+  // arithmetic itself lives behind the runtime SIMD dispatch
+  // (simd/dispatch.h): scalar, AVX2 or AVX-512 at the backend's choosing,
+  // with the dispatch contract guaranteeing the instrumented counters
+  // charge exactly nrhs times the scalar work in every backend (MR
+  // iterations and axpy flops are charged per still-active lane, and lane
+  // masking branches only on exact zeros, which all backends preserve).
   // -------------------------------------------------------------------------
-
-  /// out = a + s * phase*b, lane-wise, for one complex component pair.
-  /// In-place use (out == a) is fine: each lane reads before it writes.
-  static void lane_phase_madd(const float* a_re, const float* a_im,
-                              const float* b_re, const float* b_im, Phase p,
-                              float s, float* o_re, float* o_im,
-                              int lanes) noexcept {
-    switch (p) {
-      case Phase::kPlusOne:
-        LQCD_PRAGMA_SIMD
-        for (int l = 0; l < lanes; ++l) {
-          o_re[l] = a_re[l] + s * b_re[l];
-          o_im[l] = a_im[l] + s * b_im[l];
-        }
-        break;
-      case Phase::kMinusOne:
-        LQCD_PRAGMA_SIMD
-        for (int l = 0; l < lanes; ++l) {
-          o_re[l] = a_re[l] - s * b_re[l];
-          o_im[l] = a_im[l] - s * b_im[l];
-        }
-        break;
-      case Phase::kPlusI:
-        LQCD_PRAGMA_SIMD
-        for (int l = 0; l < lanes; ++l) {
-          const float br = b_re[l], bi = b_im[l];
-          o_re[l] = a_re[l] - s * bi;
-          o_im[l] = a_im[l] + s * br;
-        }
-        break;
-      case Phase::kMinusI:
-      default:
-        LQCD_PRAGMA_SIMD
-        for (int l = 0; l < lanes; ++l) {
-          const float br = b_re[l], bi = b_im[l];
-          o_re[l] = a_re[l] + s * bi;
-          o_im[l] = a_im[l] - s * br;
-        }
-        break;
-    }
-  }
 
   /// h = upper two rows of (1 + sign*gamma_mu) applied to the spinor lane
   /// vectors at `in_site` (24 components x lanes -> 12 components x lanes).
   static void lane_project(const float* in_site, int mu, int sign, float* h,
-                           int lanes) noexcept {
-    const PermPhaseMatrix& g = kGamma[static_cast<std::size_t>(mu)];
-    const float s = sign > 0 ? 1.0f : -1.0f;
-    for (int r = 0; r < 2; ++r) {
-      const int col = g.col[static_cast<std::size_t>(r)];
-      for (int c = 0; c < kNumColors; ++c) {
-        const float* a_re = in_site + (r * kNumColors + c) * 2 * lanes;
-        const float* b_re = in_site + (col * kNumColors + c) * 2 * lanes;
-        float* o_re = h + (r * kNumColors + c) * 2 * lanes;
-        lane_phase_madd(a_re, a_re + lanes, b_re, b_re + lanes,
-                        g.phase[static_cast<std::size_t>(r)], s, o_re,
-                        o_re + lanes, lanes);
-      }
-    }
+                           int lanes) {
+    simd::kernels().project_lanes(in_site, mu, sign, h, lanes);
   }
 
   /// acc_site += full spinor reconstructed from the half-spinor lane
   /// vectors `h` for projector (1 + sign*gamma_mu).
   static void lane_reconstruct_add(float* acc_site, const float* h, int mu,
-                                   int sign, int lanes) noexcept {
-    const PermPhaseMatrix& g = kGamma[static_cast<std::size_t>(mu)];
-    const float s = sign > 0 ? 1.0f : -1.0f;
-    for (int r = 0; r < 2; ++r)
-      for (int c = 0; c < kNumColors; ++c) {
-        float* a_re = acc_site + (r * kNumColors + c) * 2 * lanes;
-        float* a_im = a_re + lanes;
-        const float* h_re = h + (r * kNumColors + c) * 2 * lanes;
-        const float* h_im = h_re + lanes;
-        LQCD_PRAGMA_SIMD
-        for (int l = 0; l < lanes; ++l) {
-          a_re[l] += h_re[l];
-          a_im[l] += h_im[l];
-        }
-      }
-    for (int r = 2; r < kNumSpins; ++r) {
-      const int col = g.col[static_cast<std::size_t>(r)];
-      for (int c = 0; c < kNumColors; ++c) {
-        float* a_re = acc_site + (r * kNumColors + c) * 2 * lanes;
-        const float* b_re = h + (col * kNumColors + c) * 2 * lanes;
-        lane_phase_madd(a_re, a_re + lanes, b_re, b_re + lanes,
-                        g.phase[static_cast<std::size_t>(r)], s, a_re,
-                        a_re + lanes, lanes);
-      }
-    }
+                                   int sign, int lanes) {
+    simd::kernels().reconstruct_add_lanes(acc_site, h, mu, sign, lanes);
   }
 
   /// y = U x (or U^dagger x) on half-spinor lane vectors: the link is
   /// loaded once and applied to every lane.
   static void lane_su3_mul(const SU3<float>& u, const float* x, float* y,
-                           int lanes, bool adjoint) noexcept {
-    for (int sp = 0; sp < 2; ++sp)
-      for (int i = 0; i < kNumColors; ++i) {
-        float* y_re = y + (sp * kNumColors + i) * 2 * lanes;
-        float* y_im = y_re + lanes;
-        for (int j = 0; j < kNumColors; ++j) {
-          const Complex<float> uij =
-              adjoint ? std::conj(u.m[j][i]) : u.m[i][j];
-          const float ur = uij.real(), ui = uij.imag();
-          const float* x_re = x + (sp * kNumColors + j) * 2 * lanes;
-          const float* x_im = x_re + lanes;
-          if (j == 0) {
-            LQCD_PRAGMA_SIMD
-            for (int l = 0; l < lanes; ++l) {
-              y_re[l] = ur * x_re[l] - ui * x_im[l];
-              y_im[l] = ur * x_im[l] + ui * x_re[l];
-            }
-          } else {
-            LQCD_PRAGMA_SIMD
-            for (int l = 0; l < lanes; ++l) {
-              y_re[l] += ur * x_re[l] - ui * x_im[l];
-              y_im[l] += ur * x_im[l] + ui * x_re[l];
-            }
-          }
-        }
-      }
+                           int lanes, bool adjoint) {
+    simd::kernels().su3_mul_lanes(flat(u), x, y, lanes, adjoint ? 1 : 0);
   }
 
   /// Apply the two chirality clover blocks at a site to the spinor lane
@@ -1268,50 +1176,8 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float>,
   static void lane_apply_block_pair(const PackedHermitian6<float>& b0,
                                     const PackedHermitian6<float>& b1,
                                     const float* in_site, float* out_site,
-                                    int lanes) noexcept {
-    const PackedHermitian6<float>* blocks[2] = {&b0, &b1};
-    for (int chi = 0; chi < 2; ++chi) {
-      const auto& blk = *blocks[chi];
-      const float* x0 = in_site + chi * 2 * kCloverBlockDim * lanes;
-      float* y0 = out_site + chi * 2 * kCloverBlockDim * lanes;
-      for (int i = 0; i < kCloverBlockDim; ++i) {
-        float* o_re = y0 + 2 * i * lanes;
-        float* o_im = o_re + lanes;
-        {
-          const float di = blk.diag[i];
-          const float* x_re = x0 + 2 * i * lanes;
-          const float* x_im = x_re + lanes;
-          LQCD_PRAGMA_SIMD
-          for (int l = 0; l < lanes; ++l) {
-            o_re[l] = di * x_re[l];
-            o_im[l] = di * x_im[l];
-          }
-        }
-        for (int j = 0; j < i; ++j) {
-          const Complex<float> o = blk.offd[packed_index(i, j)];
-          const float pr = o.real(), pi = o.imag();
-          const float* x_re = x0 + 2 * j * lanes;
-          const float* x_im = x_re + lanes;
-          LQCD_PRAGMA_SIMD
-          for (int l = 0; l < lanes; ++l) {
-            o_re[l] += pr * x_re[l] - pi * x_im[l];
-            o_im[l] += pr * x_im[l] + pi * x_re[l];
-          }
-        }
-        for (int j = i + 1; j < kCloverBlockDim; ++j) {
-          // acc += x[j] * conj(offd[j][i]), as in PackedHermitian6::apply.
-          const Complex<float> o = blk.offd[packed_index(j, i)];
-          const float pr = o.real(), pi = o.imag();
-          const float* x_re = x0 + 2 * j * lanes;
-          const float* x_im = x_re + lanes;
-          LQCD_PRAGMA_SIMD
-          for (int l = 0; l < lanes; ++l) {
-            o_re[l] += x_re[l] * pr + x_im[l] * pi;
-            o_im[l] += x_im[l] * pr - x_re[l] * pi;
-          }
-        }
-      }
-    }
+                                    int lanes) {
+    simd::kernels().clover_pair_lanes(&b0, &b1, in_site, out_site, lanes);
   }
 
   /// Lane version of local_dslash_impl: out = D_{out_parity,1-out_parity}
@@ -1367,9 +1233,7 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float>,
                             in_e.lane_vec(le, 0), sc.s24.data(), L);
       float* o = out_e.lane_vec(le, 0);
       const float* diag = sc.s24.data();
-      LQCD_PRAGMA_SIMD
-      for (int k = 0; k < kSpinorReals * L; ++k)
-        o[k] = diag[k] - 0.25f * o[k];
+      simd::kernels().xpay_lanes(diag, -0.25f, o, o, kSpinorReals * L);
     }
   }
 
@@ -1406,8 +1270,7 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float>,
     for (std::int32_t le = 0; le < hv; ++le) {
       const float* rv = sc.r_lanes.lane_vec(le, 0);
       float* ev = sc.rhs_e_lanes.lane_vec(le, 0);
-      LQCD_PRAGMA_SIMD
-      for (int k = 0; k < kSpinorReals * L; ++k) ev[k] = rv[k] + 0.5f * ev[k];
+      simd::kernels().xpay_lanes(rv, 0.5f, ev, ev, kSpinorReals * L);
     }
     sc.stats.flops += nb * (168 * hops_per_parity_ + hv * (504 + 24));
 
@@ -1444,9 +1307,7 @@ class SchwarzPreconditioner final : public BatchPreconditioner<float>,
       const float* rv = sc.r_lanes.lane_vec(hv + lo, 0);
       const float* tv = sc.t1_lanes.lane_vec(lo, 0);
       float* rhs_o = sc.s24.data();
-      LQCD_PRAGMA_SIMD
-      for (int k = 0; k < kSpinorReals * L; ++k)
-        rhs_o[k] = rv[k] + 0.5f * tv[k];
+      simd::kernels().xpay_lanes(rv, 0.5f, tv, rhs_o, kSpinorReals * L);
       lane_apply_block_pair(load_block(inv_o_ptr(d, lo, 0)),
                             load_block(inv_o_ptr(d, lo, 1)), rhs_o,
                             sc.z_lanes.lane_vec(hv + lo, 0), L);

@@ -1,0 +1,28 @@
+// Scalar (portable) backend: the reference implementations, wrapped into a
+// dispatch table. Compiled with -ffp-contract=off so its results are
+// bit-stable across compilers and -march levels (see scalar_kernels.h).
+#include "lqcd/simd/backends.h"
+#include "lqcd/simd/scalar_kernels.h"
+
+namespace lqcd::simd::detail {
+
+namespace {
+constexpr Kernels kScalarKernels = {
+    Backend::kScalar,
+    "scalar",
+    &ref::su3_mul_nn,
+    &ref::su3_mul_lanes,
+    &ref::project_lanes,
+    &ref::reconstruct_add_lanes,
+    &ref::clover_pair_lanes,
+    &ref::xpay_lanes,
+    &ref::mr_dots_lanes,
+    &ref::mr_axpy_lanes,
+    &ref::float_to_half_n,
+    &ref::half_to_float_n,
+};
+}  // namespace
+
+const Kernels* scalar_table() noexcept { return &kScalarKernels; }
+
+}  // namespace lqcd::simd::detail

@@ -1,0 +1,147 @@
+// Runtime-dispatched SIMD kernel backends for the hot SU(3) / dslash /
+// clover / lane (SOA-over-RHS) arithmetic.
+//
+// The paper's performance rests on hand-vectorized kernels (Sec. VI); on
+// host hardware we provide the same split explicitly: a portable scalar
+// path (the reference semantics, autovectorized via LQCD_PRAGMA_SIMD), an
+// AVX2+FMA+F16C backend, and an AVX-512 backend. One of them is selected
+// at runtime by CPUID, overridable with the LQCD_SIMD_BACKEND environment
+// variable ("scalar" | "avx2" | "avx512") or programmatically with
+// force_backend(). Kernel code includes ONLY this header (enforced by
+// tools/lqcd_lint.py): concrete backends live in src/lqcd/simd/*.cpp and
+// are reached through the function-pointer table below.
+//
+// Numerical contract (tested in tests/test_simd.cpp):
+//   - su3_mul_nn, su3_mul_lanes, project/reconstruct and xpay are
+//     BIT-IDENTICAL across backends: every backend evaluates the same
+//     expressions in the same order, FMA contraction is disabled on all
+//     backend translation units (-ffp-contract=off) and the intrinsic
+//     paths use separate mul/add.
+//   - clover_pair_lanes and the MR reductions MAY use FMA in the wide
+//     backends; they agree with scalar to <= 1e-6 relative.
+//   - float_to_half_n / half_to_float_n are bit-identical everywhere
+//     (F16C round-to-nearest-even matches the software converter exactly,
+//     including saturate-to-inf overflow and NaN quieting).
+//   - Exact zeros stay exact zeros in every backend, so SchwarzStats
+//     counters (which branch only on arar == 0) are backend-invariant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "lqcd/linalg/fp16.h"
+#include "lqcd/su3/clover_block.h"
+
+namespace lqcd::simd {
+
+enum class Backend : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+inline constexpr int kNumBackends = 3;
+
+/// The dispatched kernel table. All lane kernels take the SOA-over-RHS
+/// layout of schwarz/storage.h: a "lane vector" is `lanes` contiguous
+/// floats, components are [re lane vector][im lane vector] pairs.
+struct Kernels {
+  Backend backend;
+  const char* name;
+
+  /// c[i] = a[i] * b[i] over n row-major complex 3x3 matrices (18 floats
+  /// each, (re,im) interleaved) — the su3_bench calibration kernel.
+  void (*su3_mul_nn)(const float* a, const float* b, float* c,
+                     std::int64_t n);
+
+  /// y = U x (or U^dagger x when adjoint != 0) on 2-spin half-spinor lane
+  /// vectors (12 complex components). `u` is one 18-float SU(3) matrix.
+  void (*su3_mul_lanes)(const float* u, const float* x, float* y, int lanes,
+                        int adjoint);
+
+  /// h = upper two rows of (1 + sign*gamma_mu) applied to the 24-component
+  /// spinor lane vectors at `in_site` (-> 12 components).
+  void (*project_lanes)(const float* in_site, int mu, int sign, float* h,
+                        int lanes);
+
+  /// acc_site += full spinor reconstructed from the half-spinor lane
+  /// vectors `h` for projector (1 + sign*gamma_mu).
+  void (*reconstruct_add_lanes)(float* acc_site, const float* h, int mu,
+                                int sign, int lanes);
+
+  /// out_site = blockpair(in_site): the two chirality clover blocks
+  /// applied to 24-component spinor lane vectors. Must not alias.
+  void (*clover_pair_lanes)(const PackedHermitian6<float>* b0,
+                            const PackedHermitian6<float>* b1,
+                            const float* in_site, float* out_site, int lanes);
+
+  /// out[k] = x[k] + s * y[k] over n floats (the fused Schur/RHS combine
+  /// loops). In-place use (out == x or out == y) is fine.
+  void (*xpay_lanes)(const float* x, float s, const float* y, float* out,
+                     std::int64_t n);
+
+  /// Per-lane MR inner products, accumulated in double: arr = <Ar, r>,
+  /// arar = <Ar, Ar>. Caller zeroes the accumulators. Layout as in
+  /// solver/mr.h lane_mr_dots.
+  void (*mr_dots_lanes)(const float* r, const float* ar, std::int64_t ncomplex,
+                        int lanes, double* arr_re, double* arr_im,
+                        double* arar);
+
+  /// The MR update, lane-wise: z += alpha r, r -= alpha Ar with per-lane
+  /// complex alphas (masked lanes carry alpha = 0).
+  void (*mr_axpy_lanes)(float* z, float* r, const float* ar,
+                        std::int64_t ncomplex, int lanes,
+                        const float* alpha_re, const float* alpha_im);
+
+  /// Array binary16 conversions (F16C in the wide backends, the software
+  /// converter of linalg/fp16.cpp otherwise). Bit-identical everywhere.
+  void (*float_to_half_n)(const float* src, Half* dst, std::int64_t n);
+  void (*half_to_float_n)(const Half* src, float* dst, std::int64_t n);
+};
+
+/// Canonical lower-case backend name ("scalar" | "avx2" | "avx512").
+const char* to_string(Backend b) noexcept;
+
+/// Parse a backend name; throws lqcd::Error on anything unknown.
+Backend parse_backend(std::string_view name);
+
+/// True iff the backend's translation unit was built with the required
+/// instruction sets (always true for scalar).
+bool backend_compiled(Backend b) noexcept;
+
+/// True iff the backend is compiled AND this CPU can execute it.
+bool backend_supported(Backend b) noexcept;
+
+/// All backends usable on this machine, best (widest) first.
+std::vector<Backend> available_backends();
+
+/// CPUID selection: avx512 if supported, else avx2, else scalar.
+Backend detect_backend() noexcept;
+
+/// Reads LQCD_SIMD_BACKEND now. Empty/unset -> nullopt. Throws
+/// lqcd::Error on an unknown name or on a backend this machine cannot run.
+std::optional<Backend> backend_from_env();
+
+/// The active kernel table. First use resolves LQCD_SIMD_BACKEND (throwing
+/// on invalid values) and falls back to detect_backend(). Thread-safe.
+const Kernels& kernels();
+
+/// Backend of the active table (initializes dispatch on first use).
+Backend active_backend();
+
+/// Force the active backend (tests / benches). Throws lqcd::Error if the
+/// backend is not compiled in or not supported by this CPU.
+void force_backend(Backend b);
+
+/// RAII save/force/restore of the active backend.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend b) : saved_(active_backend()) {
+    force_backend(b);
+  }
+  ~ScopedBackend() { force_backend(saved_); }
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  Backend saved_;
+};
+
+}  // namespace lqcd::simd

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "lqcd/base/aligned.h"
+#include "lqcd/simd/dispatch.h"
 #include "lqcd/solver/linear_operator.h"
 
 namespace lqcd {
@@ -149,28 +150,12 @@ struct LaneMRState {
 /// part, each a contiguous run of `lanes` floats. Products are widened
 /// to double exactly as in the scalar block solve.
 inline void lane_mr_dots(const float* r, const float* ar,
-                         std::int64_t ncomplex, int lanes,
-                         LaneMRState& st) noexcept {
+                         std::int64_t ncomplex, int lanes, LaneMRState& st) {
   std::fill(st.arr_re.begin(), st.arr_re.end(), 0.0);
   std::fill(st.arr_im.begin(), st.arr_im.end(), 0.0);
   std::fill(st.arar.begin(), st.arar.end(), 0.0);
-  double* arr_re = st.arr_re.data();
-  double* arr_im = st.arr_im.data();
-  double* arar = st.arar.data();
-  for (std::int64_t k = 0; k < ncomplex; ++k) {
-    const float* rre = r + 2 * k * lanes;
-    const float* rim = rre + lanes;
-    const float* are = ar + 2 * k * lanes;
-    const float* aim = are + lanes;
-    LQCD_PRAGMA_SIMD
-    for (int l = 0; l < lanes; ++l) {
-      const double ar_ = are[l], ai_ = aim[l];
-      const double rr_ = rre[l], ri_ = rim[l];
-      arr_re[l] += ar_ * rr_ + ai_ * ri_;
-      arr_im[l] += ar_ * ri_ - ai_ * rr_;
-      arar[l] += ar_ * ar_ + ai_ * ai_;
-    }
-  }
+  simd::kernels().mr_dots_lanes(r, ar, ncomplex, lanes, st.arr_re.data(),
+                                st.arr_im.data(), st.arar.data());
 }
 
 /// Per-lane alpha = arr / arar for the still-active lanes; a lane with
@@ -198,24 +183,9 @@ inline int lane_mr_alphas(LaneMRState& st) noexcept {
 /// per-lane (masked) alphas of `st`. Layout as in lane_mr_dots.
 inline void lane_mr_axpy(float* z, float* r, const float* ar,
                          std::int64_t ncomplex, int lanes,
-                         const LaneMRState& st) noexcept {
-  const float* alr = st.alpha_re.data();
-  const float* ali = st.alpha_im.data();
-  for (std::int64_t k = 0; k < ncomplex; ++k) {
-    float* zre = z + 2 * k * lanes;
-    float* zim = zre + lanes;
-    float* rre = r + 2 * k * lanes;
-    float* rim = rre + lanes;
-    const float* are = ar + 2 * k * lanes;
-    const float* aim = are + lanes;
-    LQCD_PRAGMA_SIMD
-    for (int l = 0; l < lanes; ++l) {
-      zre[l] += alr[l] * rre[l] - ali[l] * rim[l];
-      zim[l] += alr[l] * rim[l] + ali[l] * rre[l];
-      rre[l] -= alr[l] * are[l] - ali[l] * aim[l];
-      rim[l] -= alr[l] * aim[l] + ali[l] * are[l];
-    }
-  }
+                         const LaneMRState& st) {
+  simd::kernels().mr_axpy_lanes(z, r, ar, ncomplex, lanes,
+                                st.alpha_re.data(), st.alpha_im.data());
 }
 
 }  // namespace lqcd

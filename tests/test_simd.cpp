@@ -1,0 +1,438 @@
+// Runtime SIMD dispatch (simd/dispatch.h): CPUID/env backend selection,
+// the cross-backend numerical contract — bit-identical SU(3) multiply,
+// spin projection, xpay and binary16 conversion; <= 1e-6 for the
+// FMA-carrying clover and MR kernels — and backend-invariance of the
+// Schwarz instrumented counters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "lqcd/base/error.h"
+#include "lqcd/base/rng.h"
+#include "lqcd/core/dd_solver.h"
+#include "lqcd/linalg/fp16.h"
+#include "lqcd/simd/dispatch.h"
+#include "lqcd/solver/even_odd.h"
+#include "lqcd/solver/mr.h"
+
+namespace lqcd {
+namespace {
+
+using simd::Backend;
+using simd::ScopedBackend;
+
+std::vector<Backend> wide_backends() {
+  std::vector<Backend> out;
+  for (const Backend b : simd::available_backends())
+    if (b != Backend::kScalar) out.push_back(b);
+  return out;
+}
+
+std::vector<float> random_floats(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.gaussian());
+  return v;
+}
+
+bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+double max_rel_diff(const std::vector<float>& ref,
+                    const std::vector<float>& got) {
+  double scale = 0;
+  for (const float x : ref) scale = std::max(scale, std::abs(double(x)));
+  if (scale == 0) scale = 1;
+  double m = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    m = std::max(m, std::abs(double(ref[i]) - double(got[i])) / scale);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Selection: CPUID detection, name parsing, env override, force/restore.
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatch, ScalarAlwaysUsableAndDetectionPicksSupported) {
+  EXPECT_TRUE(simd::backend_compiled(Backend::kScalar));
+  EXPECT_TRUE(simd::backend_supported(Backend::kScalar));
+  EXPECT_TRUE(simd::backend_supported(simd::detect_backend()));
+
+  const auto avail = simd::available_backends();
+  ASSERT_FALSE(avail.empty());
+  // Widest first, scalar always present, detection returns the head.
+  EXPECT_EQ(avail.back(), Backend::kScalar);
+  EXPECT_EQ(simd::detect_backend(), avail.front());
+  for (const Backend b : avail) EXPECT_TRUE(simd::backend_supported(b));
+}
+
+TEST(SimdDispatch, ParseRoundTripsCanonicalNamesAndRejectsUnknown) {
+  for (const Backend b :
+       {Backend::kScalar, Backend::kAvx2, Backend::kAvx512})
+    EXPECT_EQ(simd::parse_backend(simd::to_string(b)), b);
+  EXPECT_THROW(simd::parse_backend("neon"), Error);
+  EXPECT_THROW(simd::parse_backend(""), Error);
+  EXPECT_THROW(simd::parse_backend("AVX2"), Error);  // names are lower-case
+  EXPECT_THROW(simd::parse_backend("avx2 "), Error);
+}
+
+TEST(SimdDispatch, EnvOverrideIsValidatedOnRead) {
+  const char* saved = std::getenv("LQCD_SIMD_BACKEND");
+  const std::string saved_value = saved != nullptr ? saved : "";
+
+  ::unsetenv("LQCD_SIMD_BACKEND");
+  EXPECT_FALSE(simd::backend_from_env().has_value());
+
+  ::setenv("LQCD_SIMD_BACKEND", "scalar", 1);
+  const auto forced = simd::backend_from_env();
+  ASSERT_TRUE(forced.has_value());
+  EXPECT_EQ(*forced, Backend::kScalar);
+
+  ::setenv("LQCD_SIMD_BACKEND", "neon", 1);
+  EXPECT_THROW(simd::backend_from_env(), Error);
+
+  // A known backend the machine cannot run must be rejected too (only
+  // checkable on hosts without AVX-512).
+  if (!simd::backend_supported(Backend::kAvx512)) {
+    ::setenv("LQCD_SIMD_BACKEND", "avx512", 1);
+    EXPECT_THROW(simd::backend_from_env(), Error);
+  }
+
+  if (saved != nullptr)
+    ::setenv("LQCD_SIMD_BACKEND", saved_value.c_str(), 1);
+  else
+    ::unsetenv("LQCD_SIMD_BACKEND");
+}
+
+TEST(SimdDispatch, ForceBackendSwitchesAndScopedBackendRestores) {
+  const Backend before = simd::active_backend();
+  for (const Backend b : simd::available_backends()) {
+    ScopedBackend scope(b);
+    EXPECT_EQ(simd::active_backend(), b);
+    EXPECT_EQ(simd::kernels().backend, b);
+    EXPECT_STREQ(simd::kernels().name, simd::to_string(b));
+  }
+  EXPECT_EQ(simd::active_backend(), before);
+
+  for (const Backend b : {Backend::kAvx2, Backend::kAvx512}) {
+    if (!simd::backend_supported(b)) {
+      EXPECT_THROW(simd::force_backend(b), Error);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identical kernels: SU(3) multiply, projection, xpay, fp16.
+// ---------------------------------------------------------------------------
+
+TEST(SimdParity, Su3MulNnIsBitIdenticalAcrossBackends) {
+  // Odd count exercises the wide path's scalar-handled last matrix.
+  for (const std::int64_t n : {1, 2, 7, 17}) {
+    const auto a = random_floats(n * 18, 11);
+    const auto b = random_floats(n * 18, 12);
+    std::vector<float> ref(static_cast<std::size_t>(n) * 18);
+    {
+      ScopedBackend scope(Backend::kScalar);
+      simd::kernels().su3_mul_nn(a.data(), b.data(), ref.data(), n);
+    }
+    for (const Backend w : wide_backends()) {
+      ScopedBackend scope(w);
+      std::vector<float> got(ref.size(), -1.0f);
+      simd::kernels().su3_mul_nn(a.data(), b.data(), got.data(), n);
+      EXPECT_TRUE(bitwise_equal(ref, got))
+          << "backend " << simd::to_string(w) << " n " << n;
+    }
+  }
+}
+
+TEST(SimdParity, Su3MulLanesIsBitIdenticalAcrossBackends) {
+  const auto u = random_floats(18, 21);
+  for (const int lanes : {1, 3, 4, 5, 8, 16, 19})
+    for (const int adjoint : {0, 1}) {
+      const auto x = random_floats(12 * lanes, 22);
+      std::vector<float> ref(static_cast<std::size_t>(12 * lanes));
+      {
+        ScopedBackend scope(Backend::kScalar);
+        simd::kernels().su3_mul_lanes(u.data(), x.data(), ref.data(), lanes,
+                                      adjoint);
+      }
+      for (const Backend w : wide_backends()) {
+        ScopedBackend scope(w);
+        std::vector<float> got(ref.size(), -1.0f);
+        simd::kernels().su3_mul_lanes(u.data(), x.data(), got.data(), lanes,
+                                      adjoint);
+        EXPECT_TRUE(bitwise_equal(ref, got))
+            << "backend " << simd::to_string(w) << " lanes " << lanes
+            << " adjoint " << adjoint;
+      }
+    }
+}
+
+TEST(SimdParity, ProjectAndReconstructAreBitIdenticalAcrossBackends) {
+  for (const int lanes : {1, 4, 8, 19})
+    for (int mu = 0; mu < kNumDims; ++mu)
+      for (const int sign : {+1, -1}) {
+        const auto in = random_floats(24 * lanes, 31);
+        const auto acc0 = random_floats(24 * lanes, 32);
+
+        std::vector<float> h_ref(static_cast<std::size_t>(12 * lanes));
+        std::vector<float> acc_ref = acc0;
+        {
+          ScopedBackend scope(Backend::kScalar);
+          simd::kernels().project_lanes(in.data(), mu, sign, h_ref.data(),
+                                        lanes);
+          simd::kernels().reconstruct_add_lanes(acc_ref.data(), h_ref.data(),
+                                                mu, sign, lanes);
+        }
+        for (const Backend w : wide_backends()) {
+          ScopedBackend scope(w);
+          std::vector<float> h(h_ref.size(), -1.0f);
+          std::vector<float> acc = acc0;
+          simd::kernels().project_lanes(in.data(), mu, sign, h.data(), lanes);
+          simd::kernels().reconstruct_add_lanes(acc.data(), h.data(), mu,
+                                                sign, lanes);
+          EXPECT_TRUE(bitwise_equal(h_ref, h))
+              << "project " << simd::to_string(w) << " mu " << mu << " sign "
+              << sign << " lanes " << lanes;
+          EXPECT_TRUE(bitwise_equal(acc_ref, acc))
+              << "reconstruct " << simd::to_string(w) << " mu " << mu
+              << " sign " << sign << " lanes " << lanes;
+        }
+      }
+}
+
+TEST(SimdParity, XpayIsBitIdenticalAndSupportsInPlace) {
+  for (const std::int64_t n : {1, 8, 57}) {
+    const auto x = random_floats(n, 41);
+    const auto y = random_floats(n, 42);
+    std::vector<float> ref(static_cast<std::size_t>(n));
+    {
+      ScopedBackend scope(Backend::kScalar);
+      simd::kernels().xpay_lanes(x.data(), -0.25f, y.data(), ref.data(), n);
+    }
+    for (const Backend w : wide_backends()) {
+      ScopedBackend scope(w);
+      std::vector<float> got(ref.size(), -1.0f);
+      simd::kernels().xpay_lanes(x.data(), -0.25f, y.data(), got.data(), n);
+      EXPECT_TRUE(bitwise_equal(ref, got)) << simd::to_string(w);
+      // In-place on y, as the Schur combine loops use it.
+      std::vector<float> inplace = y;
+      simd::kernels().xpay_lanes(x.data(), -0.25f, inplace.data(),
+                                 inplace.data(), n);
+      EXPECT_TRUE(bitwise_equal(ref, inplace)) << simd::to_string(w);
+    }
+  }
+}
+
+TEST(SimdParity, HalfConversionIsBitIdenticalIncludingEdgeCases) {
+  // Edge values: zeros, subnormal boundaries, the saturate-to-inf
+  // threshold (values just below round to 65504, at/above to inf), inf,
+  // and NaNs with payloads.
+  std::vector<float> edge = {
+      0.0f, -0.0f, 1.0f, -2.5f, 65504.0f, -65504.0f, 65519.996f, 65520.0f,
+      65536.0f, -70000.0f, 5.96046448e-8f /* 2^-24, smallest subnormal */,
+      2.98023224e-8f /* 2^-25: ties to even -> 0 */, 6.0e-8f, 1.0e-7f,
+      6.1035156e-5f /* 2^-14, smallest normal */, 6.1e-5f,
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      std::numeric_limits<float>::quiet_NaN(),
+      std::numeric_limits<float>::denorm_min()};
+  auto src = random_floats(997, 51);  // odd length exercises the tails
+  src.insert(src.end(), edge.begin(), edge.end());
+  const auto n = static_cast<std::int64_t>(src.size());
+
+  std::vector<Half> ref(src.size());
+  for (std::size_t i = 0; i < src.size(); ++i) ref[i] = float_to_half(src[i]);
+
+  for (const Backend b : simd::available_backends()) {
+    ScopedBackend scope(b);
+    std::vector<Half> got(src.size(), 0xffffu);
+    simd::kernels().float_to_half_n(src.data(), got.data(), n);
+    EXPECT_EQ(std::memcmp(ref.data(), got.data(), ref.size() * sizeof(Half)),
+              0)
+        << simd::to_string(b);
+  }
+
+  // Up-conversion: every one of the 65536 binary16 patterns.
+  std::vector<Half> all(65536);
+  for (std::size_t i = 0; i < all.size(); ++i)
+    all[i] = static_cast<Half>(i);
+  std::vector<float> up_ref(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i)
+    up_ref[i] = half_to_float(all[i]);
+  for (const Backend b : simd::available_backends()) {
+    ScopedBackend scope(b);
+    std::vector<float> up(all.size(), -1.0f);
+    simd::kernels().half_to_float_n(all.data(), up.data(),
+                                    static_cast<std::int64_t>(all.size()));
+    EXPECT_EQ(
+        std::memcmp(up_ref.data(), up.data(), up.size() * sizeof(float)), 0)
+        << simd::to_string(b);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FMA-carrying kernels: clover and the MR recurrence (<= 1e-6 vs scalar).
+// ---------------------------------------------------------------------------
+
+TEST(SimdParity, CloverPairMatchesScalarToFmaTolerance) {
+  Rng rng(61);
+  PackedHermitian6<float> b0, b1;
+  for (PackedHermitian6<float>* blk : {&b0, &b1}) {
+    for (auto& d : blk->diag) d = static_cast<float>(1 + 0.1 * rng.gaussian());
+    for (auto& o : blk->offd)
+      o = Complex<float>(static_cast<float>(0.1 * rng.gaussian()),
+                         static_cast<float>(0.1 * rng.gaussian()));
+  }
+  for (const int lanes : {1, 4, 8, 19}) {
+    const auto in = random_floats(24 * lanes, 62);
+    std::vector<float> ref(static_cast<std::size_t>(24 * lanes));
+    {
+      ScopedBackend scope(Backend::kScalar);
+      simd::kernels().clover_pair_lanes(&b0, &b1, in.data(), ref.data(),
+                                        lanes);
+    }
+    for (const Backend w : wide_backends()) {
+      ScopedBackend scope(w);
+      std::vector<float> got(ref.size(), -1.0f);
+      simd::kernels().clover_pair_lanes(&b0, &b1, in.data(), got.data(),
+                                        lanes);
+      EXPECT_LT(max_rel_diff(ref, got), 1e-6)
+          << simd::to_string(w) << " lanes " << lanes;
+    }
+  }
+}
+
+TEST(SimdParity, MrKernelsMatchScalarAndPreserveExactZeroLanes) {
+  const int lanes = 8;
+  const std::int64_t ncplx = 97;
+  auto r = random_floats(2 * ncplx * lanes, 71);
+  const auto ar0 = random_floats(2 * ncplx * lanes, 72);
+  // Lane 5 exactly zero in Ar: its arar must come out exactly 0.0 in
+  // every backend — that is what keeps SchwarzStats backend-invariant.
+  auto ar = ar0;
+  for (std::int64_t k = 0; k < 2 * ncplx; ++k)
+    ar[static_cast<std::size_t>(k * lanes + 5)] = 0.0f;
+
+  LaneMRState ref_st(lanes, lanes);
+  std::vector<float> ref_z(r.size(), 0.0f), ref_r = r;
+  {
+    ScopedBackend scope(Backend::kScalar);
+    lane_mr_dots(ref_r.data(), ar.data(), ncplx, lanes, ref_st);
+    lane_mr_alphas(ref_st);
+    lane_mr_axpy(ref_z.data(), ref_r.data(), ar.data(), ncplx, lanes,
+                 ref_st);
+  }
+  EXPECT_EQ(ref_st.arar[5], 0.0);
+  EXPECT_EQ(ref_st.active[5], 0);
+
+  for (const Backend w : wide_backends()) {
+    ScopedBackend scope(w);
+    LaneMRState st(lanes, lanes);
+    std::vector<float> z(r.size(), 0.0f), rr = r;
+    lane_mr_dots(rr.data(), ar.data(), ncplx, lanes, st);
+    EXPECT_EQ(st.arar[5], 0.0) << simd::to_string(w);
+    for (int l = 0; l < lanes; ++l) {
+      const auto ls = static_cast<std::size_t>(l);
+      EXPECT_NEAR(st.arr_re[ls], ref_st.arr_re[ls],
+                  1e-10 * std::abs(ref_st.arar[0]))
+          << simd::to_string(w) << " lane " << l;
+      EXPECT_NEAR(st.arar[ls], ref_st.arar[ls],
+                  1e-10 * std::abs(ref_st.arar[0]))
+          << simd::to_string(w) << " lane " << l;
+    }
+    EXPECT_EQ(lane_mr_alphas(st), ref_st.num_active()) << simd::to_string(w);
+    lane_mr_axpy(z.data(), rr.data(), ar.data(), ncplx, lanes, st);
+    EXPECT_LT(max_rel_diff(ref_z, z), 1e-6) << simd::to_string(w);
+    EXPECT_LT(max_rel_diff(ref_r, rr), 1e-6) << simd::to_string(w);
+    // The masked lane's z stays exactly zero and its r exactly frozen.
+    for (std::int64_t k = 0; k < 2 * ncplx; ++k) {
+      const auto i = static_cast<std::size_t>(k * lanes + 5);
+      EXPECT_EQ(z[i], 0.0f) << simd::to_string(w);
+      EXPECT_EQ(rr[i], r[i]) << simd::to_string(w);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the Schwarz batched solve under every backend.
+// ---------------------------------------------------------------------------
+
+TEST(SimdSchwarz, BatchSolveAgreesAcrossBackendsWithIdenticalCounters) {
+  Geometry geom({8, 8, 8, 8});
+  Checkerboard cb(geom);
+  auto gauge = [&] {
+    auto gd = random_gauge_field<double>(geom, 0.5, 81);
+    gd.make_time_antiperiodic();
+    return convert<float>(gd);
+  }();
+  WilsonCloverOperator<float> op(geom, cb, gauge, 0.1f, 1.0f);
+  op.prepare_schur();
+  DomainPartition part(geom, {4, 4, 4, 4});
+
+  const int nrhs = 5;
+  SchwarzParams p;
+  p.schwarz_iterations = 2;
+  p.block_mr_iterations = 3;
+
+  std::vector<FermionField<float>> ff(nrhs);
+  std::vector<const FermionField<float>*> fp;
+  for (int i = 0; i < nrhs; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    ff[ii] = FermionField<float>(geom.volume());
+    gaussian(ff[ii], static_cast<std::uint64_t>(90 + i));
+    fp.push_back(&ff[ii]);
+  }
+
+  auto run = [&](Backend b, std::vector<FermionField<float>>& u,
+                 SchwarzStats& stats) {
+    ScopedBackend scope(b);
+    SchwarzPreconditioner<float> m(part, op, p);
+    std::vector<FermionField<float>*> up;
+    for (int i = 0; i < nrhs; ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      u[ii] = FermionField<float>(geom.volume());
+      up.push_back(&u[ii]);
+    }
+    m.apply_batch(fp, up);
+    stats = m.stats();
+  };
+
+  std::vector<FermionField<float>> u_ref(nrhs);
+  SchwarzStats ref_stats;
+  run(Backend::kScalar, u_ref, ref_stats);
+
+  for (const Backend w : wide_backends()) {
+    std::vector<FermionField<float>> u(nrhs);
+    SchwarzStats stats;
+    run(w, u, stats);
+    for (int i = 0; i < nrhs; ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      double diff2 = 0, ref2 = 0;
+      for (std::int64_t s = 0; s < u_ref[ii].size(); ++s) {
+        diff2 += norm2(u_ref[ii][s] - u[ii][s]);
+        ref2 += norm2(u_ref[ii][s]);
+      }
+      EXPECT_LT(std::sqrt(diff2 / ref2), 1e-5)
+          << simd::to_string(w) << " RHS " << i;
+    }
+    // Counters are a hard contract: identical matrix loads, MR
+    // iterations (lane masking branches only on exact zeros) and flops.
+    EXPECT_EQ(stats.applications, ref_stats.applications);
+    EXPECT_EQ(stats.sweeps, ref_stats.sweeps);
+    EXPECT_EQ(stats.matrix_block_loads, ref_stats.matrix_block_loads);
+    EXPECT_EQ(stats.block_solves, ref_stats.block_solves);
+    EXPECT_EQ(stats.mr_iterations, ref_stats.mr_iterations)
+        << simd::to_string(w);
+    EXPECT_EQ(stats.boundary_bytes, ref_stats.boundary_bytes);
+    EXPECT_EQ(stats.flops, ref_stats.flops) << simd::to_string(w);
+  }
+}
+
+}  // namespace
+}  // namespace lqcd

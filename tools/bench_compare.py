@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Compare a measured BENCH_kernels.json against the checked-in baseline.
+
+Usage:
+    bench_compare.py <measured.json> <baseline.json> [--tolerance 0.25]
+
+Both files carry the `lqcd-bench-kernels-v1` schema written by
+`bench_kernels --json`. The comparison is ONE-SIDED: a kernel fails only
+if its measured rate drops below baseline * (1 - tolerance). Faster
+machines never fail, so the baseline can stay conservative while still
+catching real regressions (a kernel silently falling back to scalar, a
+dispatch bug, a de-vectorized loop).
+
+Backends are matched by name and compared only when present in BOTH
+files: CI runners differ in ISA support, so the baseline's avx2 entries
+are simply skipped on a runner whose CPUID (or LQCD_SIMD_BACKEND) never
+produced an avx2 section. The scalar backend is mandatory — it exists on
+every machine, and its absence means the bench itself is broken.
+
+Exit status: 0 all kernels within tolerance, 1 regression or malformed
+input, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "lqcd-bench-kernels-v1"
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: schema {doc.get('schema')!r} != {SCHEMA!r}")
+    return doc
+
+
+def kernel_map(doc: dict) -> dict[str, dict[str, dict]]:
+    """{backend: {kernel_name: kernel_record}}"""
+    out: dict[str, dict[str, dict]] = {}
+    for b in doc.get("backends", []):
+        out[b["backend"]] = {k["name"]: k for k in b.get("kernels", [])}
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("measured")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional drop below baseline "
+                         "(default 0.25 = fail under 75%% of baseline)")
+    args = ap.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        print("--tolerance must be in [0, 1)", file=sys.stderr)
+        return 2
+
+    try:
+        measured = kernel_map(load(args.measured))
+        baseline = kernel_map(load(args.baseline))
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 1
+
+    if "scalar" not in measured:
+        print("bench_compare: measured file has no 'scalar' backend — the "
+              "portable fallback must exist on every machine", file=sys.stderr)
+        return 1
+
+    failures = 0
+    compared = 0
+    skipped_backends = sorted(set(baseline) - set(measured))
+    print(f"{'backend':8s} {'kernel':16s} {'metric':7s} "
+          f"{'measured':>9s} {'floor':>9s} {'baseline':>9s}  status")
+    for backend in sorted(set(baseline) & set(measured)):
+        for name, base in sorted(baseline[backend].items()):
+            meas = measured[backend].get(name)
+            if meas is None:
+                print(f"{backend:8s} {name:16s} {'-':7s} {'-':>9s} {'-':>9s} "
+                      f"{base['value']:9.2f}  MISSING")
+                failures += 1
+                continue
+            if meas.get("metric") != base.get("metric"):
+                print(f"bench_compare: {backend}/{name}: metric "
+                      f"{meas.get('metric')!r} != baseline "
+                      f"{base.get('metric')!r}", file=sys.stderr)
+                failures += 1
+                continue
+            floor = base["value"] * (1.0 - args.tolerance)
+            ok = meas["value"] >= floor
+            compared += 1
+            failures += 0 if ok else 1
+            print(f"{backend:8s} {name:16s} {base['metric']:7s} "
+                  f"{meas['value']:9.2f} {floor:9.2f} {base['value']:9.2f}  "
+                  f"{'ok' if ok else 'REGRESSION'}")
+    for backend in skipped_backends:
+        print(f"{backend:8s} (not available on this machine — "
+              f"{len(baseline[backend])} baseline kernel(s) skipped)")
+
+    if compared == 0:
+        print("bench_compare: nothing compared — baseline and measured "
+              "share no backend", file=sys.stderr)
+        return 1
+    print(f"bench_compare: {compared} kernel(s) compared, "
+          f"{failures} failure(s), tolerance {args.tolerance:.0%}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,19 @@ Enforces invariants no generic tool knows about (see DESIGN.md
                        #include'd by at least one test under tests/ —
                        the serving layer's label coverage stays honest
                        only if each of its headers is actually exercised.
+  simd-containment     x86 intrinsics (<immintrin.h>, _mm*/_mm256*/
+                       _mm512* calls, __m128/__m256/__m512 types) live
+                       only under src/lqcd/simd/ — everything else goes
+                       through the runtime-dispatch table.
+  simd-dispatch-include  code outside src/lqcd/simd/ includes only
+                       "lqcd/simd/dispatch.h", never a concrete backend
+                       header — backend selection is a runtime decision,
+                       not a compile-time include choice.
+  simd-ci-leg-check    every LQCD_SIMD_BACKEND value forced by a ci.yml
+                       leg names a backend known to dispatch.cpp, and
+                       the scalar and avx2 backends each have a forcing
+                       leg — so no dispatch backend can silently drop
+                       out of CI.
 
 Suppressions: tools/lint_suppressions.txt, one per line,
     <rule>:<path>[:<line>]  # <justification>
@@ -296,6 +309,99 @@ def check_service_header_tests(findings: list[Finding]) -> None:
                 "least one test carrying the `service` label"))
 
 
+def iter_simd_scope() -> list[Path]:
+    """Files the simd containment rules police: all of src/ plus the
+    test and bench trees (kernels must not leak intrinsics anywhere)."""
+    files = iter_source(("*.h", "*.cpp"))
+    for d in (REPO / "tests", REPO / "bench"):
+        if d.is_dir():
+            files.extend(sorted(d.rglob("*.h")))
+            files.extend(sorted(d.rglob("*.cpp")))
+    return files
+
+
+def check_simd_containment(findings: list[Finding]) -> None:
+    simd_dir = SRC / "lqcd" / "simd"
+    intrin_re = re.compile(
+        r"(#\s*include\s*<(?:immintrin|x86intrin|[exsp]mmintrin|avx\w*)\.h>|"
+        r"\b_mm(?:256|512)?_[a-z0-9_]+\s*\(|\b__m(?:128|256|512)[di]?\b)")
+    for path in iter_simd_scope():
+        if simd_dir in path.parents:
+            continue
+        code = strip_comments(path.read_text())
+        for ln, line in enumerate(code.splitlines(), 1):
+            m = intrin_re.search(line)
+            if m:
+                findings.append(Finding(
+                    "simd-containment", path, ln,
+                    f"x86 intrinsic '{m.group(1).strip()}' outside "
+                    "src/lqcd/simd/ — call through "
+                    "lqcd::simd::kernels() instead"))
+
+
+def check_simd_dispatch_include(findings: list[Finding]) -> None:
+    simd_dir = SRC / "lqcd" / "simd"
+    inc_re = re.compile(r'#\s*include\s+"(lqcd/simd/[^"]+)"')
+    for path in iter_simd_scope():
+        if simd_dir in path.parents:
+            continue
+        for ln, line in enumerate(path.read_text().splitlines(), 1):
+            m = inc_re.search(line)
+            if m and m.group(1) != "lqcd/simd/dispatch.h":
+                findings.append(Finding(
+                    "simd-dispatch-include", path, ln,
+                    f'#include "{m.group(1)}" outside src/lqcd/simd/ — '
+                    "only lqcd/simd/dispatch.h is public; backend "
+                    "selection happens at runtime"))
+
+
+def check_simd_ci_legs(findings: list[Finding]) -> None:
+    ci = REPO / ".github" / "workflows" / "ci.yml"
+    dispatch = SRC / "lqcd" / "simd" / "dispatch.cpp"
+    if not ci.exists() or not dispatch.exists():
+        return
+    known = set(re.findall(r'if\s*\(name\s*==\s*"([a-z0-9]+)"\)\s*return\s+'
+                           r'Backend::', dispatch.read_text()))
+    forced: set[str] = set()
+    env_re = re.compile(r"LQCD_SIMD_BACKEND\s*[:=]\s*['\"]?([a-z0-9_.{$ }]+)")
+    for ln, line in enumerate(ci.read_text().splitlines(), 1):
+        m = env_re.search(line)
+        if not m:
+            continue
+        value = m.group(1).strip().strip("'\"")
+        if "$" in value:
+            continue  # matrix expansion — the matrix axis lists the names
+        forced.add(value)
+        if value not in known:
+            findings.append(Finding(
+                "simd-ci-leg-check", ci, ln,
+                f"ci.yml forces LQCD_SIMD_BACKEND={value}, which "
+                "dispatch.cpp does not recognise (known: "
+                f"{', '.join(sorted(known))})"))
+    # Matrix axes like `backend: [scalar, avx2]` feed
+    # LQCD_SIMD_BACKEND: ${{ matrix.backend }} — collect and validate
+    # their values too.
+    for ln, line in enumerate(ci.read_text().splitlines(), 1):
+        m = re.search(r"backend:\s*\[([a-z0-9_, ]+)\]", line)
+        if not m:
+            continue
+        for value in (v.strip() for v in m.group(1).split(",")):
+            forced.add(value)
+            if value not in known:
+                findings.append(Finding(
+                    "simd-ci-leg-check", ci, ln,
+                    f"ci.yml simd matrix lists backend '{value}', which "
+                    "dispatch.cpp does not recognise (known: "
+                    f"{', '.join(sorted(known))})"))
+    for backend in ("scalar", "avx2"):
+        if backend in known and backend not in forced:
+            findings.append(Finding(
+                "simd-ci-leg-check", ci, 1,
+                f"no ci.yml leg forces LQCD_SIMD_BACKEND={backend} — "
+                "every universally-runnable backend needs a pinned CI "
+                "leg (avx2 legs may skip-with-notice on old runners)"))
+
+
 def load_suppressions(path: Path) -> tuple[list[tuple], int]:
     entries: list[tuple] = []
     errors = 0
@@ -350,6 +456,9 @@ def main() -> int:
     check_parallel_fault_hooks(findings)
     check_ci_labels(findings)
     check_service_header_tests(findings)
+    check_simd_containment(findings)
+    check_simd_dispatch_include(findings)
+    check_simd_ci_legs(findings)
 
     shown = [f for f in findings if not suppressed(f, entries)]
     for f in sorted(shown, key=Finding.key):
