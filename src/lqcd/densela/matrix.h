@@ -55,6 +55,8 @@ class Matrix {
   std::vector<Cplx> a_;
 };
 
+// analyze-safe(parallel-reachability): the shape check asserts dimensions
+// fixed at setup construction, never data computed inside a sweep.
 inline Matrix mul(const Matrix& a, const Matrix& b) {
   LQCD_CHECK(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
@@ -67,6 +69,8 @@ inline Matrix mul(const Matrix& a, const Matrix& b) {
   return c;
 }
 
+// analyze-safe(parallel-reachability): shape check on setup-time
+// dimensions, as above.
 inline std::vector<Cplx> mul(const Matrix& a, const std::vector<Cplx>& x) {
   LQCD_CHECK(a.cols() == static_cast<int>(x.size()));
   std::vector<Cplx> y(static_cast<std::size_t>(a.rows()));

@@ -78,7 +78,8 @@ class CloverTerm {
     const T diag_mass = static_cast<T>(kNumDims) + mass;
     const auto volume = geom.volume();
 
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) default(none) \
+    shared(volume, geom, u, csw, diag_mass)
     for (std::int32_t x = 0; x < static_cast<std::int32_t>(volume); ++x) {
       // Dense accumulation per chirality: index i = spin_local*3 + color.
       Complex<T> dense[2][kCloverBlockDim][kCloverBlockDim] = {};
@@ -142,10 +143,20 @@ class CloverTerm {
   void compute_inverses() {
     inv_blocks_.resize(blocks_.size());
     const auto n = static_cast<std::int64_t>(blocks_.size());
-#pragma omp parallel for schedule(static)
+    // A singular block (pathological gauge config) must not throw from
+    // inside the region — that is std::terminate. Count failures and
+    // throw once, after the region.
+    std::int64_t n_singular = 0;
+#pragma omp parallel for schedule(static) default(none) shared(n) \
+    reduction(+ : n_singular)
     for (std::int64_t i = 0; i < n; ++i)
-      inv_blocks_[static_cast<std::size_t>(i)] =
-          invert(blocks_[static_cast<std::size_t>(i)]);
+      if (!try_invert(blocks_[static_cast<std::size_t>(i)],
+                      inv_blocks_[static_cast<std::size_t>(i)]))
+        ++n_singular;
+    if (n_singular != 0) {
+      inv_blocks_.clear();  // keep has_inverses() false on failure
+      LQCD_CHECK_MSG(n_singular == 0, "singular clover block(s)");
+    }
   }
 
   bool has_inverses() const noexcept { return !inv_blocks_.empty(); }

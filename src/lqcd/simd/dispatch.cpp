@@ -124,6 +124,10 @@ std::optional<Backend> backend_from_env() {
   return b;
 }
 
+// analyze-safe(parallel-reachability): the throwing env-var resolve runs
+// on the FIRST call only; SchwarzPreconditioner's constructor calls
+// kernels() eagerly (schwarz.h, ctor) before any parallel region, so
+// in-sweep calls hit the resolved-pointer fast path and cannot throw.
 const Kernels& kernels() {
   const Kernels* t = g_active.load(std::memory_order_acquire);
   if (t != nullptr) return *t;

@@ -75,9 +75,14 @@ struct PackedHermitian6 {
 
 /// Invert a packed Hermitian block via dense LU with partial pivoting.
 /// The inverse of a Hermitian matrix is Hermitian, so it packs back
-/// losslessly. Throws lqcd::Error on (numerically) singular input.
+/// losslessly. Returns false on (numerically) singular input, leaving
+/// `out` unspecified — the throw-free form callable from inside
+/// `omp parallel` regions (an exception escaping one is
+/// std::terminate), where the caller collects failures and throws
+/// after the region.
 template <class T>
-PackedHermitian6<T> invert(const PackedHermitian6<T>& in) {
+bool try_invert(const PackedHermitian6<T>& in,
+                PackedHermitian6<T>& out) noexcept {
   constexpr int n = kCloverBlockDim;
   auto a = in.to_dense();
   // Augment with identity and run Gauss-Jordan with partial pivoting.
@@ -95,7 +100,7 @@ PackedHermitian6<T> invert(const PackedHermitian6<T>& in) {
         pivot = r;
       }
     }
-    LQCD_CHECK_MSG(best > T(0), "singular clover block");
+    if (!(best > T(0))) return false;
     if (pivot != col) {
       std::swap(a[static_cast<size_t>(pivot)], a[static_cast<size_t>(col)]);
       std::swap(inv[static_cast<size_t>(pivot)], inv[static_cast<size_t>(col)]);
@@ -119,13 +124,20 @@ PackedHermitian6<T> invert(const PackedHermitian6<T>& in) {
     }
   }
 
-  PackedHermitian6<T> out;
   for (int i = 0; i < n; ++i) {
     out.diag[i] = inv[static_cast<size_t>(i)][static_cast<size_t>(i)].real();
     for (int j = 0; j < i; ++j)
       out.offd[packed_index(i, j)] =
           inv[static_cast<size_t>(i)][static_cast<size_t>(j)];
   }
+  return true;
+}
+
+/// Throwing wrapper for serial callers: lqcd::Error on singular input.
+template <class T>
+PackedHermitian6<T> invert(const PackedHermitian6<T>& in) {
+  PackedHermitian6<T> out;
+  LQCD_CHECK_MSG(try_invert(in, out), "singular clover block");
   return out;
 }
 

@@ -1,0 +1,7 @@
+// lqcd_lint fixture: deliberately missing #pragma once, with raw
+// allocations. Marker comments are read by run_analyze_fixtures.py.
+inline int* leak() {  // EXPECT-LINT: pragma-once
+  int* p = (int*)malloc(16);  // EXPECT-LINT: naked-alloc
+  free(p);  // EXPECT-LINT: naked-alloc
+  return p;
+}

@@ -1,0 +1,4 @@
+#pragma once
+
+// Clean lqcd_lint fixture — no findings may anchor here.
+inline int doubled(int x) { return 2 * x; }

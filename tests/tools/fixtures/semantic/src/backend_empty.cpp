@@ -1,0 +1,6 @@
+// dispatch-completeness fixture: a backend_*.cpp TU that never
+// initializes a Kernels table at all.  EXPECT-TU: dispatch-completeness
+
+void unrelated_work(float* x) {
+  *x += 1.0f;
+}

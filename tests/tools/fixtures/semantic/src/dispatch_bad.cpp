@@ -1,0 +1,18 @@
+// dispatch-completeness fixture: a short aggregate (silent
+// value-initialized tail) and an explicit nullptr kernel slot.
+
+struct Kernels {
+  int backend;
+  const char* name;
+  void (*alpha)(float*);
+  void (*beta)(float*);
+  void (*gamma)(float*);
+};
+
+void alpha_impl(float*) {}
+void beta_impl(float*) {}
+void gamma_impl(float*) {}
+
+const Kernels kShortTable = {0, "short", &alpha_impl, &beta_impl};  // EXPECT: dispatch-completeness
+const Kernels kNullTable = {1, "holey", &alpha_impl, nullptr, &gamma_impl};  // EXPECT: dispatch-completeness
+const Kernels kFullTable = {2, "full", &alpha_impl, &beta_impl, &gamma_impl};

@@ -1,0 +1,16 @@
+// fp-determinism fixture: su3_mul_nn / xpay_lanes are on the bit-exact
+// list; the runner's synthetic compile entry for this TU deliberately
+// omits -ffp-contract=off.  EXPECT-TU: fp-determinism
+
+void su3_mul_nn(const float* a, const float* b, float* c) {
+  for (int i = 0; i < 9; ++i)
+    c[i] = a[i] * b[i] + c[i];  // EXPECT: fp-determinism
+}
+
+float helper_fma(float a, float b, float c) {
+  return __builtin_fmaf(a, b, c);  // EXPECT: fp-determinism
+}
+
+void xpay_lanes(float* y, const float* x, float a, int n) {
+  for (int i = 0; i < n; ++i) y[i] = helper_fma(x[i], a, y[i]);
+}

@@ -1,0 +1,30 @@
+// omp-audit fixture: regions owning a data environment must carry
+// default(none). `// EXPECT: <rule>` markers are read by
+// tests/tools/run_analyze_fixtures.py — a finding of that rule must
+// anchor on exactly this line.
+
+void omp_missing_default(int* a, int n) {
+#pragma omp parallel for schedule(static)  // EXPECT: omp-audit
+  for (int i = 0; i < n; ++i) a[i] = i;
+}
+
+void omp_default_shared(int* a, int n) {
+#pragma omp parallel for default(shared)  // EXPECT: omp-audit
+  for (int i = 0; i < n; ++i) a[i] = i;
+}
+
+void omp_task_missing_default(int x) {
+#pragma omp task  // EXPECT: omp-audit
+  { (void)x; }
+}
+
+void omp_good(int* a, int n) {
+#pragma omp parallel for schedule(static) default(none) shared(a, n)
+  for (int i = 0; i < n; ++i) a[i] = i;
+}
+
+void omp_worksharing_only(int* a, int n) {
+  // `omp for` / `omp simd` create no data environment — not audited.
+#pragma omp for
+  for (int i = 0; i < n; ++i) a[i] = i;
+}

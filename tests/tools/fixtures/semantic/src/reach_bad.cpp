@@ -1,0 +1,46 @@
+// parallel-reachability fixture: hazards the lexical tier cannot see —
+// a throw two calls deep, a serial fault hook and a shared-stats
+// mutation one call deep — plus an analyze-safe barrier that must keep
+// the walk out.
+
+struct Error {};
+
+int helper_throws(int x) {
+  if (x < 0) throw Error{};
+  return x;
+}
+
+int deep(int x) { return helper_throws(x); }
+
+// analyze-safe(parallel-reachability): fixture barrier — the throw below
+// must never be reported through this function.
+int blessed(int x) {
+  if (x < -1000000) throw Error{};
+  return x;
+}
+
+void region_throw(int* a, int n) {
+#pragma omp parallel for default(none) shared(a, n)  // EXPECT: parallel-reachability
+  for (int i = 0; i < n; ++i) a[i] = deep(a[i]) + blessed(a[i]);
+}
+
+struct FaultInjector {
+  bool maybe_fault(int k) { return k == 0; }
+};
+struct Stats {
+  long hits = 0;
+};
+
+struct Op {
+  FaultInjector* injector_ = nullptr;
+  Stats stats_;
+
+  void hook_hazard() {
+    if (injector_ != nullptr && injector_->maybe_fault(0)) stats_.hits += 1;
+  }
+
+  void sweep(int n) {
+#pragma omp parallel for default(none) shared(n)  // EXPECT: parallel-reachability
+    for (int i = 0; i < n; ++i) hook_hazard();
+  }
+};

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Fixture harness for the two-tier static-analysis stack.
+
+Drives tools/analyze (the semantic tier) over the known-bad corpus in
+tests/tools/fixtures/semantic/ and tools/lqcd_lint.py (the lexical
+tier) over tests/tools/fixtures/lint_root/, asserting that every pass
+fires EXACTLY where the fixtures say it must and stays silent
+everywhere else.
+
+Expectations live in the fixtures themselves as marker comments, so
+they survive edits that shift line numbers:
+
+    // EXPECT: <rule>        a finding of <rule> anchors on this line
+    // EXPECT-TU: <rule>     a TU-level finding of <rule> (line 1)
+    // EXPECT-LINT: <rule>   same, for the lqcd_lint leg
+
+The synthetic compile_commands.json gives every TU -ffp-contract=off
+EXCEPT fpdet_bad.cpp — the fp-determinism TU-level finding is the
+missing flag itself.
+
+Also exercises the shared justified-suppression registry: a justified
+entry hides its finding (counted as suppressed), an entry without a
+justification is itself an error (exit 2).
+
+Exit 0 on success, 1 with a diff of missing/unexpected findings on
+failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SEM_ROOT = REPO / "tests" / "tools" / "fixtures" / "semantic"
+SEM_SRC = SEM_ROOT / "src"
+LINT_ROOT = REPO / "tests" / "tools" / "fixtures" / "lint_root"
+
+_EXPECT_RE = re.compile(r"//\s*EXPECT:\s*([\w-]+)")
+_EXPECT_TU_RE = re.compile(r"EXPECT-TU:\s*([\w-]+)")
+_EXPECT_LINT_RE = re.compile(r"//\s*EXPECT-LINT:\s*([\w-]+)")
+
+failures: list[str] = []
+
+
+def fail(msg: str) -> None:
+    failures.append(msg)
+    print(f"FAIL: {msg}", file=sys.stderr)
+
+
+def ok(msg: str) -> None:
+    print(f"  ok: {msg}")
+
+
+def expected_semantic() -> set:
+    exp = set()
+    for f in sorted(SEM_SRC.glob("*.cpp")):
+        rel = f"src/{f.name}"
+        for ln, line in enumerate(f.read_text().splitlines(), 1):
+            m = _EXPECT_RE.search(line)
+            if m:
+                exp.add((m.group(1), rel, ln))
+            m = _EXPECT_TU_RE.search(line)
+            if m:
+                exp.add((m.group(1), rel, 1))
+    return exp
+
+
+def write_compile_db(tmp: Path) -> Path:
+    entries = []
+    for f in sorted(SEM_SRC.glob("*.cpp")):
+        cmd = "/usr/bin/c++ -std=c++17 -O2 -fopenmp"
+        if f.name != "fpdet_bad.cpp":
+            cmd += " -ffp-contract=off"
+        cmd += f" -c {f} -o {tmp / (f.stem + '.o')}"
+        entries.append({"directory": str(SEM_ROOT), "command": cmd,
+                        "file": str(f)})
+    db = tmp / "compile_commands.json"
+    db.write_text(json.dumps(entries, indent=2))
+    return db
+
+
+def run_analyzer(db: Path, *extra: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(REPO / "tools" / "analyze"),
+         "--root", str(SEM_ROOT), "--compile-db", str(db),
+         "--frontend", "fallback", "--lock-scope", "/src/", *extra],
+        capture_output=True, text=True)
+
+
+def check_semantic(db: Path) -> None:
+    print("== semantic fixtures (tools/analyze) ==")
+    proc = run_analyzer(db, "--json", "--no-suppressions")
+    if proc.returncode != 1:
+        fail(f"analyzer exit {proc.returncode}, expected 1 (findings)\n"
+             f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+        return
+    doc = json.loads(proc.stdout)
+    if doc["frontend"] != "text":
+        fail(f"frontend {doc['frontend']!r}, expected 'text' "
+             "(--frontend fallback)")
+    found = {(f["rule"], f["path"], f["line"]) for f in doc["findings"]}
+    exp = expected_semantic()
+
+    for miss in sorted(exp - found):
+        fail(f"expected finding did not fire: {miss}")
+    for extra in sorted(found - exp):
+        fail(f"unexpected finding: {extra}")
+    if exp == found:
+        per_rule: dict[str, int] = {}
+        for rule, _, _ in sorted(found):
+            per_rule[rule] = per_rule.get(rule, 0) + 1
+        ok(f"{len(found)} expected finding sites, 0 unexpected "
+           f"({', '.join(f'{r}:{n}' for r, n in sorted(per_rule.items()))})")
+    clean_hits = [f for f in doc["findings"]
+                  if f["path"] == "src/clean.cpp"]
+    if clean_hits:
+        fail(f"findings anchored in clean.cpp: {clean_hits}")
+    else:
+        ok("clean.cpp is finding-free")
+
+    rules_fired = {f["rule"] for f in doc["findings"]}
+    for rule in ("omp-audit", "parallel-reachability", "lock-discipline",
+                 "fp-determinism", "dispatch-completeness"):
+        if rule not in rules_fired:
+            fail(f"pass {rule} produced no finding on its fixture")
+    if rules_fired >= {"omp-audit", "parallel-reachability",
+                       "lock-discipline", "fp-determinism",
+                       "dispatch-completeness"}:
+        ok("all five passes fired")
+
+
+def check_suppressions(db: Path, tmp: Path) -> None:
+    print("== justified-suppression registry ==")
+    sup = tmp / "suppressions.txt"
+    sup.write_text(
+        "omp-audit:src/omp_bad.cpp:7  # fixture: justified entries hide "
+        "their finding\n")
+    proc = run_analyzer(db, "--json", "--suppressions", str(sup))
+    doc = json.loads(proc.stdout)
+    found = {(f["rule"], f["path"], f["line"]) for f in doc["findings"]}
+    if ("omp-audit", "src/omp_bad.cpp", 7) in found:
+        fail("justified suppression did not hide its finding")
+    elif doc["suppressed"] != 1:
+        fail(f"suppressed count {doc['suppressed']}, expected 1")
+    else:
+        ok("justified suppression hides exactly its finding")
+
+    sup.write_text("omp-audit:src/omp_bad.cpp:7\n")  # no justification
+    proc = run_analyzer(db, "--suppressions", str(sup))
+    if proc.returncode != 2:
+        fail(f"unjustified suppression: exit {proc.returncode}, expected 2")
+    else:
+        ok("suppression without a justification is exit 2")
+
+
+def check_lint() -> None:
+    print("== lexical fixtures (tools/lqcd_lint.py --root) ==")
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "lqcd_lint.py"),
+         "--root", str(LINT_ROOT)],
+        capture_output=True, text=True)
+    if proc.returncode != 1:
+        fail(f"lqcd_lint exit {proc.returncode}, expected 1\n"
+             f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+        return
+    found = set()
+    line_re = re.compile(r"^(.*?):(\d+): \[([\w-]+)\]")
+    for out_line in proc.stdout.splitlines():
+        m = line_re.match(out_line)
+        if m:
+            found.add((m.group(3), Path(m.group(1)).name, int(m.group(2))))
+    exp = set()
+    for f in sorted((LINT_ROOT / "src").rglob("*")):
+        if not f.is_file():
+            continue
+        for ln, line in enumerate(f.read_text().splitlines(), 1):
+            m = _EXPECT_LINT_RE.search(line)
+            if m:
+                exp.add((m.group(1), f.name, ln))
+    for miss in sorted(exp - found):
+        fail(f"expected lint finding did not fire: {miss}")
+    for extra in sorted(found - exp):
+        fail(f"unexpected lint finding: {extra}")
+    if exp == found:
+        ok(f"{len(found)} expected lint findings, 0 unexpected")
+    if any(name == "good.h" for _, name, _ in found):
+        fail("lint findings anchored in good.h")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="lqcd-analyze-fix") as td:
+        tmp = Path(td)
+        db = write_compile_db(tmp)
+        check_semantic(db)
+        check_suppressions(db, tmp)
+    check_lint()
+    if failures:
+        print(f"\n{len(failures)} fixture assertion(s) failed",
+              file=sys.stderr)
+        return 1
+    print("\nall fixture assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    os.environ.setdefault("PYTHONDONTWRITEBYTECODE", "1")
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Semantic analyzer suite for the lattice-QCD DD codebase.
+
+Tier 2 of the repo's static-analysis story (tier 1 is the lexical
+tools/lqcd_lint.py). This package parses every translation unit listed
+in a CMake compile_commands.json and runs AST/callgraph passes that no
+regex can express:
+
+  omp-audit              every `#pragma omp parallel` region carries
+                         default(none) with explicit sharing lists.
+  parallel-reachability  interprocedural callgraph walk proving no
+                         serial FaultInjector hook, shared-stats
+                         mutation, or throw is *reachable* from inside
+                         a parallel or LQCD_PRAGMA_SIMD region.
+  lock-discipline        lock-acquisition order extraction (inversion
+                         detection) and mutex-guarded-member access
+                         outside any lock scope, for the service and
+                         resilience layers.
+  fp-determinism         bit-exact-contract TUs compile with
+                         -ffp-contract=off and no fast-math; no explicit
+                         FMA reachable from bit-exact kernel bodies.
+  dispatch-completeness  every function-pointer field of the Kernels
+                         dispatch table is assigned, non-null, in every
+                         backend TU.
+
+Two frontends produce the same project model: a libclang one (python
+clang.cindex, used when importable — the CI `analyze` job pins it) and a
+self-contained text frontend (tokenizer + scope tree + callgraph) that
+keeps the passes runnable on machines without libclang.
+
+Run as `python3 -m tools.analyze` or `python3 tools/analyze`.
+"""
+
+__version__ = "1.0"

@@ -1,0 +1,17 @@
+"""Entry point: `python3 tools/analyze ...` or `python3 -m tools.analyze`.
+
+When invoked as a directory (`python3 tools/analyze`), the package is
+not importable by its dotted name, so bootstrap the repo root onto
+sys.path first.
+"""
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
+
+from tools.analyze.driver import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""Optional clang.cindex (libclang) frontend.
+
+When python3-clang + libclang are installed (the CI `analyze` job pins
+python3-clang-14), this module re-derives the function/call layer of
+the ProjectModel from real ASTs: function definitions with exact
+extents, calls resolved through the semantic referenced-declaration
+(so overload sets collapse to the actual callee), and template
+instantiations included. The class/member/lock layer and the OpenMP
+directive layer stay with the text frontend — libclang's C API does
+not expose OpenMP directive AST nodes.
+
+Everything here is defensive: `available()` never raises, and
+`enrich()` degrades to a no-op (returning False) on any libclang
+failure so the analyzer falls back to the text frontend with a notice
+instead of crashing the CI job.
+"""
+
+from __future__ import annotations
+
+import shlex
+from pathlib import Path
+
+from tools.analyze.textmodel import (FunctionInfo, ProjectModel, tu_command,
+                                     tu_path)
+
+_LIBCLANG_CANDIDATES = (
+    "/usr/lib/llvm-14/lib/libclang-14.so.1",
+    "/usr/lib/llvm-14/lib/libclang.so.1",
+    "/usr/lib/x86_64-linux-gnu/libclang-14.so.1",
+)
+
+
+def _load_cindex():
+    try:
+        from clang import cindex
+    except ImportError:
+        return None
+    if cindex.Config.loaded:
+        return cindex
+    for cand in _LIBCLANG_CANDIDATES:
+        if Path(cand).exists():
+            cindex.Config.set_library_file(cand)
+            break
+    try:
+        cindex.Index.create()
+    except Exception:
+        return None
+    return cindex
+
+
+def available() -> bool:
+    return _load_cindex() is not None
+
+
+def _tu_args(entry: dict) -> list[str]:
+    """Compiler args for libclang: drop the compiler, -c/-o and their
+    operands; keep -I/-D/-std and friends."""
+    argv = shlex.split(tu_command(entry))
+    out: list[str] = []
+    skip_next = False
+    for a in argv[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if a in ("-c",):
+            continue
+        if a == "-o":
+            skip_next = True
+            continue
+        if a == str(tu_path(entry)) or a == entry.get("file"):
+            continue
+        out.append(a)
+    return out
+
+
+def enrich(model: ProjectModel, compile_db: list[dict]) -> bool:
+    """Replace the function/call layer with AST-derived data for every
+    in-model TU. Returns True on success, False (model untouched) when
+    libclang is unavailable or every parse failed."""
+    cindex = _load_cindex()
+    if cindex is None:
+        return False
+    index = cindex.Index.create()
+    CK = cindex.CursorKind
+
+    fn_kinds = {CK.FUNCTION_DECL, CK.CXX_METHOD, CK.CONSTRUCTOR,
+                CK.DESTRUCTOR, CK.FUNCTION_TEMPLATE}
+    new_functions: list[FunctionInfo] = []
+    parsed_files: set[Path] = set()
+    any_ok = False
+
+    for entry in compile_db:
+        tu_file = tu_path(entry)
+        if tu_file not in model.files:
+            continue
+        try:
+            tu = index.parse(str(tu_file), args=_tu_args(entry),
+                             options=0)
+        except Exception:
+            continue
+        any_ok = True
+
+        def visit(cursor):
+            for c in cursor.get_children():
+                loc_file = c.location.file
+                if loc_file is None:
+                    visit(c)
+                    continue
+                cpath = Path(loc_file.name).resolve()
+                if cpath not in model.files:
+                    continue
+                if c.kind in fn_kinds and c.is_definition():
+                    if (cpath, c.extent.start.line,
+                            c.spelling) in parsed_keys:
+                        visit(c)
+                        continue
+                    parsed_keys.add((cpath, c.extent.start.line, c.spelling))
+                    parsed_files.add(cpath)
+                    cls = None
+                    sem = c.semantic_parent
+                    if sem is not None and sem.kind in (
+                            CK.CLASS_DECL, CK.STRUCT_DECL,
+                            CK.CLASS_TEMPLATE):
+                        cls = sem.spelling
+                    fn = FunctionInfo(
+                        name=c.spelling.split("<")[0], cls=cls, path=cpath,
+                        line=c.extent.start.line,
+                        body=(c.extent.start.line, c.extent.end.line))
+                    _collect_ast_calls(c, fn, model, CK)
+                    _adopt_text_annotations(model, fn)
+                    new_functions.append(fn)
+                visit(c)
+
+        parsed_keys: set[tuple] = set()
+        visit(tu.cursor)
+
+    if not any_ok or not new_functions:
+        return False
+    # Keep text-frontend functions for files libclang never saw
+    # (headers outside every TU's include set).
+    kept = [f for f in model.functions if f.path not in parsed_files]
+    model.functions = kept + new_functions
+    model.frontend = "cindex"
+    return True
+
+
+def _collect_ast_calls(cursor, fn: FunctionInfo, model: ProjectModel,
+                       CK) -> None:
+    for c in cursor.get_children():
+        if c.kind == CK.CALL_EXPR:
+            ref = c.referenced
+            name = (ref.spelling if ref is not None else c.spelling) or ""
+            name = name.split("<")[0]
+            # Receiver slot carries the callee's semantic class when the
+            # AST resolved it — reachability narrows scope-blessed calls
+            # by the same contains-'scope' convention as the text tier.
+            recv = ""
+            if ref is not None and ref.semantic_parent is not None:
+                recv = ref.semantic_parent.spelling or ""
+            if name:
+                fn.calls.append((name, c.location.line, recv))
+        _collect_ast_calls(c, fn, model, CK)
+
+
+def _adopt_text_annotations(model: ProjectModel, fn: FunctionInfo) -> None:
+    """analyze-safe annotations are comments — invisible to the AST —
+    so lift them from the raw text around the definition line."""
+    from tools.analyze.textmodel import _collect_annotations, annotations_for
+    sf = model.files.get(fn.path)
+    if sf is None:
+        return
+    fn.annotations = annotations_for(
+        fn.line, sf.raw_lines, _collect_annotations(sf.raw_lines))

@@ -1,0 +1,16 @@
+"""Pass registry for tools/analyze."""
+
+from __future__ import annotations
+
+from tools.analyze.passes import (dispatch_complete, fp_determinism,
+                                  lock_discipline, omp_audit, reachability)
+
+# Name -> pass module exposing run(model, options). Order is the
+# report order.
+PASSES = {
+    "omp-audit": omp_audit,
+    "parallel-reachability": reachability,
+    "lock-discipline": lock_discipline,
+    "fp-determinism": fp_determinism,
+    "dispatch-completeness": dispatch_complete,
+}

@@ -38,11 +38,43 @@ def load(path: str) -> dict:
     return doc
 
 
-def kernel_map(doc: dict) -> dict[str, dict[str, dict]]:
-    """{backend: {kernel_name: kernel_record}}"""
+def kernel_map(doc: dict, path: str) -> dict[str, dict[str, dict]]:
+    """{backend: {kernel_name: kernel_record}}, validated: a malformed
+    record raises ValueError naming the file, record, and missing key
+    instead of surfacing as a KeyError traceback later."""
     out: dict[str, dict[str, dict]] = {}
-    for b in doc.get("backends", []):
-        out[b["backend"]] = {k["name"]: k for k in b.get("kernels", [])}
+    backends = doc.get("backends", [])
+    if not isinstance(backends, list):
+        raise ValueError(f"{path}: 'backends' must be a list")
+    for i, b in enumerate(backends):
+        if not isinstance(b, dict) or "backend" not in b:
+            raise ValueError(
+                f"{path}: backends[{i}] lacks required key 'backend'")
+        bname = b["backend"]
+        kmap: dict[str, dict] = {}
+        for j, k in enumerate(b.get("kernels", [])):
+            if not isinstance(k, dict):
+                raise ValueError(
+                    f"{path}: backend {bname!r} kernels[{j}] is not an "
+                    "object")
+            for key in ("name", "metric", "value"):
+                if key not in k:
+                    raise ValueError(
+                        f"{path}: backend {bname!r} kernels[{j}] "
+                        f"(name={k.get('name')!r}) lacks required key "
+                        f"{key!r}")
+            if not isinstance(k["value"], (int, float)) or \
+                    isinstance(k["value"], bool):
+                raise ValueError(
+                    f"{path}: backend {bname!r} kernel {k['name']!r}: "
+                    f"'value' must be a number, got "
+                    f"{type(k['value']).__name__}")
+            if k["name"] in kmap:
+                raise ValueError(
+                    f"{path}: backend {bname!r} lists kernel "
+                    f"{k['name']!r} twice")
+            kmap[k["name"]] = k
+        out[bname] = kmap
     return out
 
 
@@ -59,9 +91,9 @@ def main() -> int:
         return 2
 
     try:
-        measured = kernel_map(load(args.measured))
-        baseline = kernel_map(load(args.baseline))
-    except (OSError, ValueError, KeyError, json.JSONDecodeError) as e:
+        measured = kernel_map(load(args.measured), args.measured)
+        baseline = kernel_map(load(args.baseline), args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
         print(f"bench_compare: {e}", file=sys.stderr)
         return 1
 
@@ -96,6 +128,14 @@ def main() -> int:
             print(f"{backend:8s} {name:16s} {base['metric']:7s} "
                   f"{meas['value']:9.2f} {floor:9.2f} {base['value']:9.2f}  "
                   f"{'ok' if ok else 'REGRESSION'}")
+        # A measured kernel the baseline has never heard of means the
+        # baseline is stale (a kernel was added without re-baselining) —
+        # fail loudly instead of silently ignoring it.
+        for name in sorted(set(measured[backend]) - set(baseline[backend])):
+            print(f"{backend:8s} {name:16s} {'-':7s} "
+                  f"{measured[backend][name]['value']:9.2f} {'-':>9s} "
+                  f"{'-':>9s}  EXTRA (not in baseline — re-baseline)")
+            failures += 1
     for backend in skipped_backends:
         print(f"{backend:8s} (not available on this machine — "
               f"{len(baseline[backend])} baseline kernel(s) skipped)")

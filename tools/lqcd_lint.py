@@ -39,6 +39,10 @@ Enforces invariants no generic tool knows about (see DESIGN.md
                        the scalar and avx2 backends each have a forcing
                        leg — so no dispatch backend can silently drop
                        out of CI.
+  analyze-ci-job-check ci.yml keeps an `analyze` job that runs the
+                       semantic tier (tools/analyze) — the deep
+                       callgraph/lock/FP checks cannot be silently
+                       dropped from CI.
 
 Suppressions: tools/lint_suppressions.txt, one per line,
     <rule>:<path>[:<line>]  # <justification>
@@ -402,6 +406,22 @@ def check_simd_ci_legs(findings: list[Finding]) -> None:
                 "leg (avx2 legs may skip-with-notice on old runners)"))
 
 
+def check_analyze_ci_job(findings: list[Finding]) -> None:
+    ci = REPO / ".github" / "workflows" / "ci.yml"
+    if not ci.exists():
+        return
+    text = ci.read_text()
+    has_job = re.search(r"^  analyze:\s*$", text, re.M) is not None
+    runs_tool = "tools/analyze" in text
+    if not (has_job and runs_tool):
+        findings.append(Finding(
+            "analyze-ci-job-check", ci, 1,
+            "ci.yml has no `analyze` job running tools/analyze — the "
+            "semantic tier (omp-audit, parallel-reachability, "
+            "lock-discipline, fp-determinism, dispatch-completeness) "
+            "must stay wired into CI"))
+
+
 def load_suppressions(path: Path) -> tuple[list[tuple], int]:
     entries: list[tuple] = []
     errors = 0
@@ -412,7 +432,11 @@ def load_suppressions(path: Path) -> tuple[list[tuple], int]:
         if not line or line.startswith("#"):
             continue
         if "#" not in line or not line.split("#", 1)[1].strip():
-            print(f"{path.relative_to(REPO)}:{ln}: suppression without a "
+            try:
+                shown = path.relative_to(REPO)
+            except ValueError:
+                shown = path
+            print(f"{shown}:{ln}: suppression without a "
                   "justification", file=sys.stderr)
             errors += 1
             continue
@@ -439,11 +463,26 @@ def suppressed(f: Finding, entries: list[tuple]) -> bool:
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--suppressions",
-                    default=str(REPO / "tools" / "lint_suppressions.txt"))
+    ap.add_argument("--root", default=None,
+                    help="lint this tree instead of the repo (fixture "
+                         "corpora under tests/tools/ use this); must "
+                         "contain a src/ directory")
+    ap.add_argument("--suppressions", default=None,
+                    help="suppression registry (default: "
+                         "ROOT/tools/lint_suppressions.txt)")
     args = ap.parse_args()
 
-    entries, supp_errors = load_suppressions(Path(args.suppressions))
+    global REPO, SRC
+    if args.root is not None:
+        REPO = Path(args.root).resolve()
+        SRC = REPO / "src"
+        if not SRC.is_dir():
+            print(f"lqcd_lint: {SRC} is not a directory", file=sys.stderr)
+            return 2
+    sup_path = Path(args.suppressions) if args.suppressions else \
+        REPO / "tools" / "lint_suppressions.txt"
+
+    entries, supp_errors = load_suppressions(sup_path)
     if supp_errors:
         return 2
 
@@ -459,6 +498,7 @@ def main() -> int:
     check_simd_containment(findings)
     check_simd_dispatch_include(findings)
     check_simd_ci_legs(findings)
+    check_analyze_ci_job(findings)
 
     shown = [f for f in findings if not suppressed(f, entries)]
     for f in sorted(shown, key=Finding.key):
